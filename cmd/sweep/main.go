@@ -1,0 +1,170 @@
+// Command sweep regenerates the paper's evaluation figures: the offered
+// load versus aggregate throughput curves of Figure 8 and the offered
+// load versus average end-to-end delay curves of Figure 9, each for the
+// four MAC protocols, plus the ablation sweeps described in DESIGN.md.
+//
+//	sweep -fig 8                 # throughput table (Figure 8)
+//	sweep -fig 9                 # delay table (Figure 9)
+//	sweep -fig all -duration 200 -seeds 5
+//	sweep -ablation safety       # PCMAC safety-factor ablation
+//	sweep -csv > out.csv
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/experiment"
+	"repro/internal/mac"
+	"repro/internal/scenario"
+	"repro/internal/sim"
+)
+
+func main() {
+	var (
+		fig      = flag.String("fig", "all", "which figure to regenerate: 8|9|all")
+		ablation = flag.String("ablation", "", "ablation sweep: safety|ctrl|threeway|expiry|ctrlbw")
+		duration = flag.Float64("duration", 100, "simulated seconds per run (paper: 400)")
+		seeds    = flag.Int("seeds", 3, "replications per point")
+		loadsCSV = flag.String("loads", "200,250,300,350,400,450,500,550", "offered loads (kbps)")
+		csv      = flag.Bool("csv", false, "emit CSV instead of tables")
+		quiet    = flag.Bool("q", false, "suppress progress output")
+	)
+	flag.Parse()
+
+	var loads []float64
+	for _, tok := range strings.Split(*loadsCSV, ",") {
+		var v float64
+		if _, err := fmt.Sscanf(strings.TrimSpace(tok), "%g", &v); err != nil {
+			fmt.Fprintf(os.Stderr, "bad load %q: %v\n", tok, err)
+			os.Exit(2)
+		}
+		loads = append(loads, v)
+	}
+	seedList := make([]int64, *seeds)
+	for i := range seedList {
+		seedList[i] = int64(i + 1)
+	}
+	base := scenario.Options{Duration: sim.DurationOf(*duration), Warmup: 5 * sim.Second}
+	progress := func(done, total int) {
+		if !*quiet {
+			fmt.Fprintf(os.Stderr, "\r%d/%d runs", done, total)
+			if done == total {
+				fmt.Fprintln(os.Stderr)
+			}
+		}
+	}
+
+	if *ablation != "" {
+		runAblation(*ablation, base, loads, seedList, progress, *csv)
+		return
+	}
+
+	sw, err := experiment.Run(experiment.Config{
+		Base:     base,
+		Loads:    loads,
+		Schemes:  mac.Schemes(),
+		Seeds:    seedList,
+		Progress: progress,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	emit := func(m experiment.Metric, label string) {
+		fmt.Printf("\n## %s\n\n", label)
+		if *csv {
+			sw.WriteCSV(os.Stdout, m)
+		} else {
+			sw.WriteTable(os.Stdout, m)
+		}
+	}
+	switch *fig {
+	case "8":
+		emit(experiment.MetricThroughput, "Figure 8: aggregate network throughput vs offered load")
+	case "9":
+		emit(experiment.MetricDelay, "Figure 9: average end-to-end delay vs offered load")
+	case "all":
+		emit(experiment.MetricThroughput, "Figure 8: aggregate network throughput vs offered load")
+		emit(experiment.MetricDelay, "Figure 9: average end-to-end delay vs offered load")
+		emit(experiment.MetricPDR, "Supplementary: packet delivery ratio")
+		emit(experiment.MetricEnergy, "Supplementary: radiated energy")
+		emit(experiment.MetricFairness, "Supplementary: Jain fairness across flows")
+	default:
+		fmt.Fprintf(os.Stderr, "unknown -fig %q\n", *fig)
+		os.Exit(2)
+	}
+}
+
+// runAblation sweeps one PCMAC design knob at a fixed protocol.
+func runAblation(kind string, base scenario.Options, loads []float64, seeds []int64, progress func(int, int), csv bool) {
+	type variant struct {
+		name string
+		mut  func(*scenario.Options)
+	}
+	var variants []variant
+	switch kind {
+	case "safety":
+		for _, sf := range []float64{0.5, 0.7, 0.9, 1.0} {
+			sf := sf
+			variants = append(variants, variant{fmt.Sprintf("safety=%.1f", sf), func(o *scenario.Options) { o.SafetyFactor = sf }})
+		}
+	case "ctrl":
+		variants = []variant{
+			{"pcmac", func(o *scenario.Options) {}},
+			{"pcmac-no-ctrl", func(o *scenario.Options) { o.DisableCtrlChannel = true }},
+		}
+	case "threeway":
+		variants = []variant{
+			{"pcmac", func(o *scenario.Options) {}},
+			{"pcmac-four-way", func(o *scenario.Options) { o.DisableThreeWay = true }},
+		}
+	case "expiry":
+		for _, e := range []float64{1, 3, 10} {
+			e := e
+			variants = append(variants, variant{fmt.Sprintf("expiry=%.0fs", e), func(o *scenario.Options) { o.HistoryExpiry = sim.DurationOf(e) }})
+		}
+	case "ctrlbw":
+		for _, bw := range []float64{125e3, 250e3, 500e3, 2e6} {
+			bw := bw
+			variants = append(variants, variant{fmt.Sprintf("bw=%.0fk", bw/1e3), func(o *scenario.Options) { o.CtrlBandwidthBps = bw }})
+		}
+	default:
+		fmt.Fprintf(os.Stderr, "unknown -ablation %q\n", kind)
+		os.Exit(2)
+	}
+
+	fmt.Printf("\n## PCMAC ablation: %s\n\n", kind)
+	if csv {
+		fmt.Println("variant,load_kbps,throughput_kbps,delay_ms")
+	}
+	for _, v := range variants {
+		for _, load := range loads {
+			var tput, delay float64
+			for _, seed := range seeds {
+				opts := base
+				opts.Scheme = mac.PCMAC
+				opts.OfferedLoadKbps = load
+				opts.Seed = seed
+				v.mut(&opts)
+				res, err := scenario.Run(opts)
+				if err != nil {
+					fmt.Fprintln(os.Stderr, err)
+					os.Exit(1)
+				}
+				tput += res.ThroughputKbps
+				delay += res.AvgDelayMs
+			}
+			tput /= float64(len(seeds))
+			delay /= float64(len(seeds))
+			if csv {
+				fmt.Printf("%s,%.0f,%.1f,%.1f\n", v.name, load, tput, delay)
+			} else {
+				fmt.Printf("%-16s load=%4.0f  throughput=%7.1f kbps  delay=%8.1f ms\n", v.name, load, tput, delay)
+			}
+		}
+	}
+	_ = progress
+}

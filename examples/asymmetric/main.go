@@ -1,0 +1,44 @@
+// Asymmetric-link demo: the paper's Figure 4 scenario, run under all
+// four protocols. A low-power pair A->B shares the field with a
+// high-power pair C->D whose transmissions land on B without C ever
+// sensing the exchange. The table shows who gets hurt and how PCMAC's
+// control channel fixes it.
+//
+//	go run ./examples/asymmetric
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/mac"
+	"repro/internal/scenario"
+)
+
+func main() {
+	fmt.Println("Figure 4 scenario: A(0m)->B(90m) low power, C(335m)->D(575m) max power")
+	fmt.Println("C cannot sense A or B; C's frames corrupt B unless something stops C.")
+	fmt.Println()
+	fmt.Printf("%-12s %10s %12s %12s %10s %10s %12s\n",
+		"scheme", "tput kbps", "A->B delay", "C->D delay", "DATA errs", "retries", "PCMAC defers")
+	for _, s := range mac.Schemes() {
+		res, err := scenario.Run(scenario.Fig4Options(s))
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-12s %10.1f %10.1fms %10.1fms %10d %10d %12d\n",
+			s,
+			res.ThroughputKbps,
+			res.Flows[0].MeanDelayMs(),
+			res.Flows[1].MeanDelayMs(),
+			res.MAC.ErrDataForMe,
+			res.MAC.Retries,
+			res.MAC.ToleranceDefer,
+		)
+	}
+	fmt.Println()
+	fmt.Println("Reading the table: scheme1/scheme2 show the asymmetric-link pathology")
+	fmt.Println("(corrupted DATA at B, recovered by retransmissions that waste bandwidth")
+	fmt.Println("and unfairly delay the low-power pair). PCMAC's noise-tolerance")
+	fmt.Println("announcements let C defer exactly while B is receiving.")
+}

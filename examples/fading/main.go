@@ -1,0 +1,46 @@
+// Fading sensitivity demo: the paper's Step 2 keeps a 0.7 safety
+// coefficient "because the noise level might be fluctuating". This
+// example makes the fluctuation real — log-normal shadowing overlaid on
+// the two-ray channel — and shows how each protocol degrades as the
+// fade deviation grows.
+//
+//	go run ./examples/fading [-load 350] [-duration 40]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"repro/internal/mac"
+	"repro/internal/scenario"
+	"repro/internal/sim"
+)
+
+func main() {
+	load := flag.Float64("load", 350, "aggregate offered load (kbps)")
+	duration := flag.Float64("duration", 40, "simulated seconds")
+	flag.Parse()
+
+	fmt.Printf("50-node Section IV setup at %.0f kbps, log-normal fading overlay\n\n", *load)
+	fmt.Printf("%-10s %-12s %12s %12s %8s\n", "fade", "scheme", "tput kbps", "delay ms", "PDR")
+	for _, sigma := range []float64{0, 2, 4, 6} {
+		for _, s := range []mac.Scheme{mac.Basic, mac.PCMAC} {
+			res, err := scenario.Run(scenario.Options{
+				Scheme:           s,
+				OfferedLoadKbps:  *load,
+				Duration:         sim.DurationOf(*duration),
+				ShadowingSigmaDB: sigma,
+				Seed:             1,
+			})
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("σ=%-4.0fdB   %-12s %12.1f %12.1f %8.3f\n",
+				sigma, s, res.ThroughputKbps, res.AvgDelayMs, res.PDR)
+		}
+	}
+	fmt.Println("\nFading hits the power-controlled protocol harder than basic 802.11:")
+	fmt.Println("learned gains go stale the moment the channel fluctuates, which is")
+	fmt.Println("exactly the risk the paper's 0.7 tolerance coefficient hedges against.")
+}

@@ -1,0 +1,42 @@
+// Mobile 50-node comparison: one point of the paper's Figures 8/9 —
+// the full Section IV setup (50 random-waypoint nodes, 1000x1000 m,
+// 10 CBR pairs over AODV) at a single offered load, run under all four
+// protocols.
+//
+//	go run ./examples/mobile50 [-load 400] [-duration 60] [-seed 1]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"repro/internal/mac"
+	"repro/internal/scenario"
+	"repro/internal/sim"
+)
+
+func main() {
+	load := flag.Float64("load", 400, "aggregate offered load (kbps)")
+	duration := flag.Float64("duration", 60, "simulated seconds")
+	seed := flag.Int64("seed", 1, "random seed")
+	flag.Parse()
+
+	fmt.Printf("Paper Section IV setup at %.0f kbps offered load (%.0f simulated seconds)\n\n", *load, *duration)
+	fmt.Printf("%-12s %12s %12s %8s %10s %10s\n", "scheme", "tput kbps", "delay ms", "PDR", "energy J", "fairness")
+	for _, s := range mac.Schemes() {
+		res, err := scenario.Run(scenario.Options{
+			Scheme:          s,
+			OfferedLoadKbps: *load,
+			Duration:        sim.DurationOf(*duration),
+			Seed:            *seed,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-12s %12.1f %12.1f %8.3f %10.2f %10.3f\n",
+			s, res.ThroughputKbps, res.AvgDelayMs, res.PDR,
+			res.EnergyJ+res.CtrlEnergyJ, res.JainFairness)
+	}
+	fmt.Println("\nFor the full Figure 8/9 sweeps run: go run ./cmd/sweep -fig all")
+}

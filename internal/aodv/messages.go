@@ -1,0 +1,104 @@
+// Package aodv implements the Ad-hoc On-demand Distance Vector routing
+// protocol (Perkins & Royer, WMCSA'99) that the paper's simulations run
+// over: on-demand route discovery by RREQ flooding, RREP unicasts along
+// reverse routes, and RERR notifications on link breaks detected by MAC
+// retry exhaustion.
+//
+// PCMAC couples to routing at exactly two points (paper Section III):
+// successfully sending a RREP to a downstream terminal resets the MAC's
+// per-peer table state, and receiving a RERR from an upstream terminal
+// does the same. The Router issues those resets through its LinkLayer.
+package aodv
+
+import (
+	"fmt"
+
+	"repro/internal/packet"
+)
+
+// MsgType enumerates AODV control messages.
+type MsgType uint8
+
+// AODV message types.
+const (
+	MsgRREQ MsgType = iota + 1
+	MsgRREP
+	MsgRERR
+)
+
+func (t MsgType) String() string {
+	switch t {
+	case MsgRREQ:
+		return "RREQ"
+	case MsgRREP:
+		return "RREP"
+	case MsgRERR:
+		return "RERR"
+	default:
+		return fmt.Sprintf("msg(%d)", uint8(t))
+	}
+}
+
+// Wire sizes in bytes (RFC 3561 section 4; RERR grows per unreachable
+// destination).
+const (
+	rreqBytes        = 24
+	rrepBytes        = 20
+	rerrBaseBytes    = 4
+	rerrPerDestBytes = 8
+)
+
+// Unreachable is one (destination, sequence) pair in a RERR.
+type Unreachable struct {
+	Dst packet.NodeID
+	Seq uint32
+}
+
+// Message is an AODV control message, carried in a NetPacket with
+// Proto == ProtoAODV.
+type Message struct {
+	Type MsgType
+
+	// RREQ fields.
+	RreqID    uint32
+	Origin    packet.NodeID
+	OriginSeq uint32
+	// Target and TargetSeq name the sought destination and the last
+	// known sequence number for it (0 = unknown).
+	Target    packet.NodeID
+	TargetSeq uint32
+	HopCount  uint8
+
+	// RREP reuses Origin (who asked), Target (the destination the route
+	// leads to), TargetSeq and HopCount.
+
+	// RERR fields.
+	Unreachable []Unreachable
+}
+
+// Bytes returns the message's wire size.
+func (m *Message) Bytes() int {
+	switch m.Type {
+	case MsgRREQ:
+		return rreqBytes
+	case MsgRREP:
+		return rrepBytes
+	case MsgRERR:
+		return rerrBaseBytes + rerrPerDestBytes*len(m.Unreachable)
+	default:
+		panic(fmt.Sprintf("aodv: Bytes of unknown message type %d", m.Type))
+	}
+}
+
+func (m *Message) String() string {
+	switch m.Type {
+	case MsgRREQ:
+		return fmt.Sprintf("RREQ#%d %v->%v hops=%d", m.RreqID, m.Origin, m.Target, m.HopCount)
+	case MsgRREP:
+		return fmt.Sprintf("RREP %v->%v hops=%d", m.Target, m.Origin, m.HopCount)
+	case MsgRERR:
+		return fmt.Sprintf("RERR %d dests", len(m.Unreachable))
+	default:
+		return m.Type.String()
+	}
+}

@@ -1,0 +1,116 @@
+package aodv
+
+import (
+	"repro/internal/packet"
+	"repro/internal/sim"
+)
+
+// Route is one routing table entry.
+type Route struct {
+	Dst      packet.NodeID
+	NextHop  packet.NodeID
+	HopCount int
+	// Seq is the destination sequence number; fresher (higher) wins.
+	Seq uint32
+	// Expires is the active-route timeout, refreshed on every use.
+	Expires sim.Time
+	// Valid marks a live route; invalidated routes keep Seq for RERR
+	// propagation and freshness comparison.
+	Valid bool
+}
+
+// table is the routing table with lazy expiry.
+type table struct {
+	clock  func() sim.Time
+	routes map[packet.NodeID]*Route
+}
+
+func newTable(clock func() sim.Time) *table {
+	return &table{clock: clock, routes: make(map[packet.NodeID]*Route)}
+}
+
+// get returns the live route to dst, if any.
+func (t *table) get(dst packet.NodeID) (*Route, bool) {
+	r, ok := t.routes[dst]
+	if !ok || !r.Valid {
+		return nil, false
+	}
+	if t.clock() >= r.Expires {
+		r.Valid = false
+		return nil, false
+	}
+	return r, true
+}
+
+// peek returns the entry even if invalid or expired (for sequence
+// numbers).
+func (t *table) peek(dst packet.NodeID) (*Route, bool) {
+	r, ok := t.routes[dst]
+	return r, ok
+}
+
+// update installs or refreshes a route, following AODV's freshness
+// rules: accept strictly newer sequence numbers, or equal sequence with
+// fewer hops, or any information when the current entry is dead.
+func (t *table) update(dst, nextHop packet.NodeID, hops int, seq uint32, lifetime sim.Duration) bool {
+	now := t.clock()
+	cur, ok := t.routes[dst]
+	if ok && cur.Valid && now < cur.Expires {
+		newer := int32(seq-cur.Seq) > 0
+		better := seq == cur.Seq && hops < cur.HopCount
+		if !newer && !better {
+			return false
+		}
+	}
+	t.routes[dst] = &Route{
+		Dst:      dst,
+		NextHop:  nextHop,
+		HopCount: hops,
+		Seq:      seq,
+		Expires:  now.Add(lifetime),
+		Valid:    true,
+	}
+	return true
+}
+
+// refresh extends the lifetime of an active route (data is flowing).
+func (t *table) refresh(dst packet.NodeID, lifetime sim.Duration) {
+	if r, ok := t.get(dst); ok {
+		r.Expires = t.clock().Add(lifetime)
+	}
+}
+
+// invalidateVia marks every live route whose next hop is via as broken,
+// bumping the destination sequence so stale information loses future
+// freshness contests. It returns the affected (dst, seq) pairs.
+func (t *table) invalidateVia(via packet.NodeID) []Unreachable {
+	var out []Unreachable
+	for dst, r := range t.routes {
+		if r.Valid && r.NextHop == via {
+			r.Valid = false
+			r.Seq++
+			out = append(out, Unreachable{Dst: dst, Seq: r.Seq})
+		}
+	}
+	return out
+}
+
+// invalidate marks the route to dst broken if it is not fresher than
+// seq. It reports whether a live route was torn down.
+func (t *table) invalidate(dst packet.NodeID, seq uint32) bool {
+	r, ok := t.routes[dst]
+	if !ok || !r.Valid {
+		return false
+	}
+	if int32(r.Seq-seq) > 0 {
+		return false // we know a fresher route; keep it
+	}
+	r.Valid = false
+	if int32(seq-r.Seq) > 0 {
+		r.Seq = seq
+	}
+	return true
+}
+
+// size returns the number of table entries (live or not).
+func (t *table) size() int { return len(t.routes) }

@@ -1,0 +1,160 @@
+package aodv
+
+import (
+	"testing"
+
+	"repro/internal/sim"
+)
+
+type clk struct{ now sim.Time }
+
+func (c *clk) fn() func() sim.Time { return func() sim.Time { return c.now } }
+
+func TestTableInstallAndGet(t *testing.T) {
+	c := &clk{}
+	tb := newTable(c.fn())
+	if !tb.update(5, 2, 3, 10, 10*sim.Second) {
+		t.Fatal("fresh install rejected")
+	}
+	r, ok := tb.get(5)
+	if !ok || r.NextHop != 2 || r.HopCount != 3 || r.Seq != 10 {
+		t.Fatalf("get = %+v, %v", r, ok)
+	}
+	if _, ok := tb.get(6); ok {
+		t.Fatal("phantom route")
+	}
+}
+
+func TestTableFreshnessRules(t *testing.T) {
+	c := &clk{}
+	tb := newTable(c.fn())
+	tb.update(5, 2, 3, 10, 10*sim.Second)
+	// Older sequence: rejected.
+	if tb.update(5, 9, 1, 9, 10*sim.Second) {
+		t.Fatal("stale sequence accepted")
+	}
+	// Same sequence, more hops: rejected.
+	if tb.update(5, 9, 4, 10, 10*sim.Second) {
+		t.Fatal("worse hop count accepted")
+	}
+	// Same sequence, fewer hops: accepted.
+	if !tb.update(5, 9, 2, 10, 10*sim.Second) {
+		t.Fatal("better hop count rejected")
+	}
+	// Newer sequence, worse hops: accepted.
+	if !tb.update(5, 7, 9, 11, 10*sim.Second) {
+		t.Fatal("fresher sequence rejected")
+	}
+	r, _ := tb.get(5)
+	if r.NextHop != 7 || r.Seq != 11 {
+		t.Fatalf("final route %+v", r)
+	}
+}
+
+func TestTableSequenceWraparound(t *testing.T) {
+	c := &clk{}
+	tb := newTable(c.fn())
+	tb.update(5, 2, 3, ^uint32(0), 10*sim.Second) // max uint32
+	// Wrapped sequence 1 is "newer" under signed comparison.
+	if !tb.update(5, 3, 3, 1, 10*sim.Second) {
+		t.Fatal("wrapped sequence rejected")
+	}
+}
+
+func TestTableExpiry(t *testing.T) {
+	c := &clk{}
+	tb := newTable(c.fn())
+	tb.update(5, 2, 3, 10, 10*sim.Second)
+	c.now = sim.Time(10*sim.Second) + 1
+	if _, ok := tb.get(5); ok {
+		t.Fatal("expired route returned")
+	}
+	// But peek still sees it (for sequence numbers).
+	if _, ok := tb.peek(5); !ok {
+		t.Fatal("peek lost the expired entry")
+	}
+	// An expired entry accepts any update.
+	if !tb.update(5, 9, 9, 1, 10*sim.Second) {
+		t.Fatal("update over expired entry rejected")
+	}
+}
+
+func TestTableRefresh(t *testing.T) {
+	c := &clk{}
+	tb := newTable(c.fn())
+	tb.update(5, 2, 3, 10, 10*sim.Second)
+	c.now = sim.Time(8 * sim.Second)
+	tb.refresh(5, 10*sim.Second)
+	c.now = sim.Time(15 * sim.Second)
+	if _, ok := tb.get(5); !ok {
+		t.Fatal("refreshed route expired")
+	}
+}
+
+func TestInvalidateVia(t *testing.T) {
+	c := &clk{}
+	tb := newTable(c.fn())
+	tb.update(5, 2, 3, 10, 10*sim.Second)
+	tb.update(6, 2, 4, 7, 10*sim.Second)
+	tb.update(7, 3, 1, 2, 10*sim.Second)
+	un := tb.invalidateVia(2)
+	if len(un) != 2 { // 5 and 6 (no direct entry for 2 exists)
+		t.Fatalf("unreachable = %v, want 2 entries", un)
+	}
+	if _, ok := tb.get(5); ok {
+		t.Fatal("route via broken hop still live")
+	}
+	if _, ok := tb.get(7); !ok {
+		t.Fatal("unrelated route was invalidated")
+	}
+	// Sequence numbers were bumped so stale info loses.
+	r, _ := tb.peek(5)
+	if r.Seq != 11 {
+		t.Fatalf("seq = %d, want 11", r.Seq)
+	}
+}
+
+func TestInvalidateViaDirectNeighbour(t *testing.T) {
+	c := &clk{}
+	tb := newTable(c.fn())
+	tb.update(2, 2, 1, 4, 10*sim.Second) // direct route to the neighbour
+	tb.update(5, 2, 3, 10, 10*sim.Second)
+	un := tb.invalidateVia(2)
+	if len(un) != 2 {
+		t.Fatalf("unreachable = %v, want both the relayed route and the neighbour itself", un)
+	}
+	if _, ok := tb.get(2); ok {
+		t.Fatal("direct route to the broken neighbour still live")
+	}
+}
+
+func TestInvalidate(t *testing.T) {
+	c := &clk{}
+	tb := newTable(c.fn())
+	tb.update(5, 2, 3, 10, 10*sim.Second)
+	// A RERR with an older sequence does not tear down a fresher route.
+	if tb.invalidate(5, 9) {
+		t.Fatal("stale RERR tore down a fresher route")
+	}
+	if !tb.invalidate(5, 12) {
+		t.Fatal("fresh RERR ignored")
+	}
+	r, _ := tb.peek(5)
+	if r.Valid || r.Seq != 12 {
+		t.Fatalf("post-invalidate entry %+v", r)
+	}
+	// Invalidating a missing or dead route reports false.
+	if tb.invalidate(99, 1) || tb.invalidate(5, 13) {
+		t.Fatal("invalidate on missing/dead route reported true")
+	}
+}
+
+func TestTableSize(t *testing.T) {
+	c := &clk{}
+	tb := newTable(c.fn())
+	tb.update(1, 1, 1, 1, sim.Second)
+	tb.update(2, 2, 1, 1, sim.Second)
+	if tb.size() != 2 {
+		t.Fatalf("size = %d", tb.size())
+	}
+}

@@ -1,0 +1,97 @@
+// Package core is the top-level entry point to the PCMAC reproduction:
+// one import that exposes the paper's four protocols, the Section IV
+// scenario vocabulary, and helpers for the comparison runs the paper's
+// evaluation is built from. The heavy lifting lives in the layered
+// packages underneath (phys, mac, power, ctrl, aodv, scenario,
+// experiment); core re-exports the surface a user of "the paper's
+// system" needs.
+package core
+
+import (
+	"runtime"
+	"sync"
+
+	"repro/internal/mac"
+	"repro/internal/scenario"
+	"repro/internal/sim"
+)
+
+// Scheme selects one of the paper's four MAC protocols.
+type Scheme = mac.Scheme
+
+// The four protocols of the paper's evaluation.
+const (
+	Basic   = mac.Basic
+	Scheme1 = mac.Scheme1
+	Scheme2 = mac.Scheme2
+	PCMAC   = mac.PCMAC
+)
+
+// Schemes lists all four protocols in the paper's presentation order.
+func Schemes() []Scheme { return mac.Schemes() }
+
+// ParseScheme converts a protocol name ("basic", "scheme1", "scheme2",
+// "pcmac") to a Scheme.
+func ParseScheme(name string) (Scheme, error) { return mac.ParseScheme(name) }
+
+// Options parameterizes a simulation; the zero value (plus a Scheme)
+// reproduces the paper's Section IV setup.
+type Options = scenario.Options
+
+// Result carries one run's metrics.
+type Result = scenario.Result
+
+// Run executes one simulation.
+func Run(o Options) (Result, error) { return scenario.Run(o) }
+
+// DefaultOptions returns the paper's Section IV evaluation setup for
+// the given protocol at the given offered load, with a configurable
+// horizon (the paper uses 400 s).
+func DefaultOptions(s Scheme, offeredKbps float64, duration sim.Duration) Options {
+	return Options{
+		Scheme:          s,
+		OfferedLoadKbps: offeredKbps,
+		Duration:        duration,
+	}
+}
+
+// Compare runs the same scenario under every protocol in parallel and
+// returns the results keyed by scheme — the row-of-four that every
+// point of Figures 8 and 9 is made of. The base's Scheme field is
+// overridden per run.
+func Compare(base Options) (map[Scheme]Result, error) {
+	schemes := Schemes()
+	results := make(map[Scheme]Result, len(schemes))
+	var (
+		mu     sync.Mutex
+		wg     sync.WaitGroup
+		runErr error
+	)
+	sem := make(chan struct{}, runtime.GOMAXPROCS(0))
+	for _, s := range schemes {
+		s := s
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			o := base
+			o.Scheme = s
+			res, err := scenario.Run(o)
+			mu.Lock()
+			defer mu.Unlock()
+			if err != nil {
+				if runErr == nil {
+					runErr = err
+				}
+				return
+			}
+			results[s] = res
+		}()
+	}
+	wg.Wait()
+	if runErr != nil {
+		return nil, runErr
+	}
+	return results, nil
+}

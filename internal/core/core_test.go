@@ -1,0 +1,69 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/geom"
+	"repro/internal/packet"
+	"repro/internal/sim"
+)
+
+func smallOpts() Options {
+	return Options{
+		Static:          []geom.Point{{X: 0, Y: 0}, {X: 150, Y: 0}},
+		FlowPairs:       [][2]packet.NodeID{{0, 1}},
+		OfferedLoadKbps: 60,
+		Duration:        10 * sim.Second,
+		Warmup:          sim.Second,
+		Seed:            1,
+	}
+}
+
+func TestRunFacade(t *testing.T) {
+	o := smallOpts()
+	o.Scheme = PCMAC
+	res, err := Run(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.PDR < 0.9 {
+		t.Fatalf("PDR = %.3f", res.PDR)
+	}
+}
+
+func TestCompareRunsAllSchemes(t *testing.T) {
+	results, err := Compare(smallOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 4 {
+		t.Fatalf("results for %d schemes, want 4", len(results))
+	}
+	for _, s := range Schemes() {
+		r, ok := results[s]
+		if !ok {
+			t.Fatalf("missing %v", s)
+		}
+		if r.ThroughputKbps < 50 {
+			t.Fatalf("%v throughput = %.1f", s, r.ThroughputKbps)
+		}
+	}
+	// Power control spends less energy than basic on this short link.
+	if results[PCMAC].EnergyJ >= results[Basic].EnergyJ {
+		t.Fatalf("pcmac energy %.2f J >= basic %.2f J", results[PCMAC].EnergyJ, results[Basic].EnergyJ)
+	}
+}
+
+func TestDefaultOptions(t *testing.T) {
+	o := DefaultOptions(PCMAC, 400, 60*sim.Second)
+	if o.Scheme != PCMAC || o.OfferedLoadKbps != 400 || o.Duration != 60*sim.Second {
+		t.Fatalf("options = %+v", o)
+	}
+}
+
+func TestParseSchemeFacade(t *testing.T) {
+	s, err := ParseScheme("pcmac")
+	if err != nil || s != PCMAC {
+		t.Fatalf("ParseScheme = %v, %v", s, err)
+	}
+}

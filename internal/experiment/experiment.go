@@ -1,0 +1,238 @@
+// Package experiment runs the paper's evaluation sweeps: offered load
+// versus throughput (Figure 8) and offered load versus end-to-end delay
+// (Figure 9) for the four MAC protocols, averaged over seeds, plus the
+// ablation sweeps listed in DESIGN.md. Runs are independent simulations
+// and execute in parallel.
+package experiment
+
+import (
+	"fmt"
+	"io"
+	"runtime"
+	"sort"
+	"sync"
+	"text/tabwriter"
+
+	"repro/internal/mac"
+	"repro/internal/scenario"
+	"repro/internal/stats"
+)
+
+// Cell aggregates the repeated runs of one (load, scheme) point.
+type Cell struct {
+	LoadKbps float64
+	Scheme   mac.Scheme
+
+	Throughput stats.Series
+	DelayMs    stats.Series
+	PDR        stats.Series
+	EnergyJ    stats.Series
+	Fairness   stats.Series
+}
+
+// Sweep is a complete load × scheme grid.
+type Sweep struct {
+	Loads   []float64
+	Schemes []mac.Scheme
+	Cells   map[cellKey]*Cell
+}
+
+type cellKey struct {
+	load   float64
+	scheme mac.Scheme
+}
+
+// Cell returns the aggregation for one grid point.
+func (s *Sweep) Cell(load float64, scheme mac.Scheme) *Cell {
+	return s.Cells[cellKey{load, scheme}]
+}
+
+// Config describes a sweep.
+type Config struct {
+	// Base is the common scenario; Scheme and OfferedLoadKbps are
+	// overridden per grid point.
+	Base scenario.Options
+	// Loads is the offered-load axis in kbps.
+	Loads []float64
+	// Schemes are the protocols to compare.
+	Schemes []mac.Scheme
+	// Seeds are the per-point replications.
+	Seeds []int64
+	// Parallelism bounds concurrent simulations (default: GOMAXPROCS).
+	Parallelism int
+	// Progress, if non-nil, is called after each completed run.
+	Progress func(done, total int)
+}
+
+// Run executes the sweep.
+func Run(cfg Config) (*Sweep, error) {
+	if len(cfg.Loads) == 0 || len(cfg.Schemes) == 0 || len(cfg.Seeds) == 0 {
+		return nil, fmt.Errorf("experiment: empty loads/schemes/seeds")
+	}
+	par := cfg.Parallelism
+	if par <= 0 {
+		par = runtime.GOMAXPROCS(0)
+	}
+	sweep := &Sweep{Loads: cfg.Loads, Schemes: cfg.Schemes, Cells: make(map[cellKey]*Cell)}
+	for _, l := range cfg.Loads {
+		for _, s := range cfg.Schemes {
+			sweep.Cells[cellKey{l, s}] = &Cell{LoadKbps: l, Scheme: s}
+		}
+	}
+
+	type job struct {
+		load   float64
+		scheme mac.Scheme
+		seed   int64
+	}
+	var jobs []job
+	for _, l := range cfg.Loads {
+		for _, s := range cfg.Schemes {
+			for _, seed := range cfg.Seeds {
+				jobs = append(jobs, job{l, s, seed})
+			}
+		}
+	}
+
+	var (
+		mu      sync.Mutex
+		done    int
+		runErr  error
+		wg      sync.WaitGroup
+		jobChan = make(chan job)
+	)
+	worker := func() {
+		defer wg.Done()
+		for j := range jobChan {
+			opts := cfg.Base
+			opts.Scheme = j.scheme
+			opts.OfferedLoadKbps = j.load
+			opts.Seed = j.seed
+			res, err := scenario.Run(opts)
+			mu.Lock()
+			if err != nil {
+				if runErr == nil {
+					runErr = err
+				}
+			} else {
+				c := sweep.Cells[cellKey{j.load, j.scheme}]
+				c.Throughput.Append(res.ThroughputKbps)
+				c.DelayMs.Append(res.AvgDelayMs)
+				c.PDR.Append(res.PDR)
+				c.EnergyJ.Append(res.EnergyJ + res.CtrlEnergyJ)
+				c.Fairness.Append(res.JainFairness)
+			}
+			done++
+			if cfg.Progress != nil {
+				cfg.Progress(done, len(jobs))
+			}
+			mu.Unlock()
+		}
+	}
+	wg.Add(par)
+	for i := 0; i < par; i++ {
+		go worker()
+	}
+	for _, j := range jobs {
+		jobChan <- j
+	}
+	close(jobChan)
+	wg.Wait()
+	if runErr != nil {
+		return nil, runErr
+	}
+	return sweep, nil
+}
+
+// Metric selects which series a table shows.
+type Metric int
+
+// Metrics for WriteTable.
+const (
+	MetricThroughput Metric = iota
+	MetricDelay
+	MetricPDR
+	MetricEnergy
+	MetricFairness
+)
+
+func (m Metric) String() string {
+	switch m {
+	case MetricThroughput:
+		return "Aggregate Network Throughput (kbps)"
+	case MetricDelay:
+		return "Average End-to-End Delay (ms)"
+	case MetricPDR:
+		return "Packet Delivery Ratio"
+	case MetricEnergy:
+		return "Radiated Energy (J)"
+	case MetricFairness:
+		return "Jain Fairness Index"
+	default:
+		return fmt.Sprintf("metric(%d)", int(m))
+	}
+}
+
+func (c *Cell) series(m Metric) *stats.Series {
+	switch m {
+	case MetricThroughput:
+		return &c.Throughput
+	case MetricDelay:
+		return &c.DelayMs
+	case MetricPDR:
+		return &c.PDR
+	case MetricEnergy:
+		return &c.EnergyJ
+	case MetricFairness:
+		return &c.Fairness
+	default:
+		panic("experiment: unknown metric")
+	}
+}
+
+// WriteTable renders the sweep as the paper renders its figures: one row
+// per offered load, one column per protocol (mean over seeds, ±stddev
+// when more than one seed ran).
+func (s *Sweep) WriteTable(w io.Writer, m Metric) error {
+	loads := append([]float64(nil), s.Loads...)
+	sort.Float64s(loads)
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintf(tw, "# %s\n", m)
+	fmt.Fprintf(tw, "Offered Load (kbps)")
+	for _, sc := range s.Schemes {
+		fmt.Fprintf(tw, "\t%s", sc)
+	}
+	fmt.Fprintln(tw)
+	for _, l := range loads {
+		fmt.Fprintf(tw, "%.0f", l)
+		for _, sc := range s.Schemes {
+			c := s.Cell(l, sc)
+			sr := c.series(m)
+			if sr.N() > 1 {
+				fmt.Fprintf(tw, "\t%.1f ±%.1f", sr.Mean(), sr.StdDev())
+			} else {
+				fmt.Fprintf(tw, "\t%.1f", sr.Mean())
+			}
+		}
+		fmt.Fprintln(tw)
+	}
+	return tw.Flush()
+}
+
+// WriteCSV emits machine-readable rows: metric,load,scheme,mean,stddev,n.
+func (s *Sweep) WriteCSV(w io.Writer, m Metric) error {
+	if _, err := fmt.Fprintln(w, "metric,load_kbps,scheme,mean,stddev,n"); err != nil {
+		return err
+	}
+	loads := append([]float64(nil), s.Loads...)
+	sort.Float64s(loads)
+	for _, l := range loads {
+		for _, sc := range s.Schemes {
+			sr := s.Cell(l, sc).series(m)
+			if _, err := fmt.Fprintf(w, "%d,%.0f,%s,%.3f,%.3f,%d\n", m, l, sc, sr.Mean(), sr.StdDev(), sr.N()); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,125 @@
+package experiment
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/geom"
+	"repro/internal/mac"
+	"repro/internal/packet"
+	"repro/internal/scenario"
+	"repro/internal/sim"
+)
+
+func tinyBase() scenario.Options {
+	return scenario.Options{
+		Static:    []geom.Point{{X: 0, Y: 0}, {X: 150, Y: 0}},
+		FlowPairs: [][2]packet.NodeID{{0, 1}},
+		Duration:  5 * sim.Second,
+		Warmup:    sim.Time(sim.Second).Sub(0),
+	}
+}
+
+func TestRunSweep(t *testing.T) {
+	sw, err := Run(Config{
+		Base:    tinyBase(),
+		Loads:   []float64{40, 80},
+		Schemes: []mac.Scheme{mac.Basic, mac.PCMAC},
+		Seeds:   []int64{1, 2},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, l := range []float64{40, 80} {
+		for _, s := range []mac.Scheme{mac.Basic, mac.PCMAC} {
+			c := sw.Cell(l, s)
+			if c == nil {
+				t.Fatalf("missing cell %v/%v", l, s)
+			}
+			if c.Throughput.N() != 2 {
+				t.Fatalf("cell %v/%v has %d samples, want 2", l, s, c.Throughput.N())
+			}
+			// Unsaturated single link: throughput tracks offered load.
+			if got := c.Throughput.Mean(); got < l*0.9 || got > l*1.1 {
+				t.Fatalf("cell %v/%v throughput = %.1f", l, s, got)
+			}
+		}
+	}
+}
+
+func TestSweepProgress(t *testing.T) {
+	var calls int
+	_, err := Run(Config{
+		Base:        tinyBase(),
+		Loads:       []float64{40},
+		Schemes:     []mac.Scheme{mac.Basic},
+		Seeds:       []int64{1, 2, 3},
+		Parallelism: 2,
+		Progress:    func(done, total int) { calls++ },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if calls != 3 {
+		t.Fatalf("progress calls = %d, want 3", calls)
+	}
+}
+
+func TestSweepEmptyConfig(t *testing.T) {
+	if _, err := Run(Config{}); err == nil {
+		t.Fatal("empty config accepted")
+	}
+}
+
+func TestWriteTableAndCSV(t *testing.T) {
+	sw, err := Run(Config{
+		Base:    tinyBase(),
+		Loads:   []float64{40},
+		Schemes: []mac.Scheme{mac.Basic, mac.PCMAC},
+		Seeds:   []int64{1},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var tbl strings.Builder
+	if err := sw.WriteTable(&tbl, MetricThroughput); err != nil {
+		t.Fatal(err)
+	}
+	out := tbl.String()
+	for _, want := range []string{"Aggregate Network Throughput", "basic802.11", "pcmac", "40"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("table missing %q:\n%s", want, out)
+		}
+	}
+	var csv strings.Builder
+	if err := sw.WriteCSV(&csv, MetricDelay); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(csv.String()), "\n")
+	if len(lines) != 3 { // header + 2 schemes
+		t.Fatalf("csv lines = %d:\n%s", len(lines), csv.String())
+	}
+	if !strings.HasPrefix(lines[0], "metric,load_kbps,scheme") {
+		t.Errorf("csv header = %q", lines[0])
+	}
+}
+
+func TestMetricStrings(t *testing.T) {
+	for _, m := range []Metric{MetricThroughput, MetricDelay, MetricPDR, MetricEnergy, MetricFairness} {
+		if m.String() == "" {
+			t.Errorf("metric %d empty name", m)
+		}
+	}
+	if !strings.Contains(Metric(99).String(), "99") {
+		t.Error("unknown metric String")
+	}
+}
+
+func TestCellSeriesPanicsOnUnknownMetric(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("unknown metric did not panic")
+		}
+	}()
+	(&Cell{}).series(Metric(99))
+}

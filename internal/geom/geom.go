@@ -1,0 +1,95 @@
+// Package geom provides the small amount of 2-D geometry the wireless
+// substrate needs: node positions on the simulation field, distances for
+// the propagation model, and linear motion for the mobility models.
+package geom
+
+import (
+	"fmt"
+	"math"
+)
+
+// Point is a position on the simulation field, in metres.
+type Point struct {
+	X, Y float64
+}
+
+func (p Point) String() string { return fmt.Sprintf("(%.1f,%.1f)", p.X, p.Y) }
+
+// Add returns p translated by the vector v.
+func (p Point) Add(v Vector) Point { return Point{p.X + v.DX, p.Y + v.DY} }
+
+// Sub returns the vector from q to p.
+func (p Point) Sub(q Point) Vector { return Vector{p.X - q.X, p.Y - q.Y} }
+
+// Dist returns the Euclidean distance between p and q in metres.
+func (p Point) Dist(q Point) float64 {
+	return math.Hypot(p.X-q.X, p.Y-q.Y)
+}
+
+// Dist2 returns the squared distance, avoiding the square root where the
+// caller only compares distances.
+func (p Point) Dist2(q Point) float64 {
+	dx, dy := p.X-q.X, p.Y-q.Y
+	return dx*dx + dy*dy
+}
+
+// Lerp returns the point a fraction t of the way from p to q; t outside
+// [0,1] extrapolates along the same line.
+func (p Point) Lerp(q Point, t float64) Point {
+	return Point{p.X + (q.X-p.X)*t, p.Y + (q.Y-p.Y)*t}
+}
+
+// In reports whether p lies inside the rectangle r (inclusive edges).
+func (p Point) In(r Rect) bool {
+	return p.X >= r.Min.X && p.X <= r.Max.X && p.Y >= r.Min.Y && p.Y <= r.Max.Y
+}
+
+// Vector is a displacement in metres.
+type Vector struct {
+	DX, DY float64
+}
+
+// Len returns the vector's magnitude.
+func (v Vector) Len() float64 { return math.Hypot(v.DX, v.DY) }
+
+// Scale returns v scaled by k.
+func (v Vector) Scale(k float64) Vector { return Vector{v.DX * k, v.DY * k} }
+
+// Unit returns the unit vector in v's direction; the zero vector maps to
+// the zero vector.
+func (v Vector) Unit() Vector {
+	l := v.Len()
+	if l == 0 {
+		return Vector{}
+	}
+	return v.Scale(1 / l)
+}
+
+// Rect is an axis-aligned rectangle (the simulation field).
+type Rect struct {
+	Min, Max Point
+}
+
+// NewField returns the rectangle [0,w]×[0,h].
+func NewField(w, h float64) Rect {
+	return Rect{Min: Point{0, 0}, Max: Point{w, h}}
+}
+
+// Width returns the horizontal extent of r.
+func (r Rect) Width() float64 { return r.Max.X - r.Min.X }
+
+// Height returns the vertical extent of r.
+func (r Rect) Height() float64 { return r.Max.Y - r.Min.Y }
+
+// Clamp returns p moved to the nearest point inside r.
+func (r Rect) Clamp(p Point) Point {
+	return Point{
+		X: math.Min(math.Max(p.X, r.Min.X), r.Max.X),
+		Y: math.Min(math.Max(p.Y, r.Min.Y), r.Max.Y),
+	}
+}
+
+// Center returns the midpoint of r.
+func (r Rect) Center() Point {
+	return Point{(r.Min.X + r.Max.X) / 2, (r.Min.Y + r.Max.Y) / 2}
+}

@@ -1,0 +1,131 @@
+// Package mac implements the IEEE 802.11 DCF medium access control the
+// paper modifies, and all four protocols it evaluates: basic 802.11
+// (no power control), Scheme 1 (max-power RTS/CTS, min-power DATA/ACK),
+// Scheme 2 (min power for all unicast frames), and PCMAC (min power
+// everywhere, a power-control channel protecting receivers, and a
+// three-way RTS-CTS-DATA handshake for data).
+package mac
+
+import (
+	"fmt"
+
+	"repro/internal/packet"
+	"repro/internal/sim"
+)
+
+// Config carries the 802.11 timing/limit constants plus the power-control
+// knobs. DefaultConfig matches the ns-2 DSSS PHY at 2 Mbps that the
+// paper simulated.
+type Config struct {
+	// SlotTime, SIFS and DIFS are the DSSS interframe timings.
+	SlotTime sim.Duration
+	SIFS     sim.Duration
+	DIFS     sim.Duration
+	// PLCP is the physical preamble+header time prepended to every
+	// frame (192 us long preamble at 1 Mbps).
+	PLCP sim.Duration
+	// BasicRateBps carries control frames (RTS/CTS/ACK); DataRateBps
+	// carries data frames. The paper's PHY runs 2 Mbps data.
+	BasicRateBps float64
+	DataRateBps  float64
+	// CWMin and CWMax bound the contention window (31/1023 slots).
+	CWMin, CWMax int
+	// ShortRetryLimit bounds RTS attempts; LongRetryLimit bounds
+	// DATA attempts.
+	ShortRetryLimit, LongRetryLimit int
+	// QueueCap is the interface queue depth (ns-2 default 50).
+	QueueCap int
+	// MaxPayloadBytes bounds data payloads; the paper fixes data
+	// packets at 512 bytes (PCMAC assumption 4 relies on it).
+	MaxPayloadBytes int
+	// PowerMargin scales the computed minimum needed power before
+	// quantization to a level, covering estimation error and fading.
+	PowerMargin float64
+	// RTSThresholdBytes enables 802.11 basic access: unicast frames
+	// whose on-air size is at or below the threshold skip the RTS/CTS
+	// exchange and go straight to DATA-ACK. Zero (the ns-2 default the
+	// paper inherits) means every unicast uses RTS/CTS. PCMAC's
+	// three-way data packets always use RTS/CTS regardless — the
+	// implicit acknowledgment rides in the CTS.
+	RTSThresholdBytes int
+}
+
+// DefaultConfig returns the ns-2 802.11 DSSS constants used by the paper.
+func DefaultConfig() Config {
+	return Config{
+		SlotTime:        20 * sim.Microsecond,
+		SIFS:            10 * sim.Microsecond,
+		DIFS:            50 * sim.Microsecond,
+		PLCP:            192 * sim.Microsecond,
+		BasicRateBps:    1e6,
+		DataRateBps:     2e6,
+		CWMin:           31,
+		CWMax:           1023,
+		ShortRetryLimit: 7,
+		LongRetryLimit:  4,
+		QueueCap:        50,
+		MaxPayloadBytes: 512,
+		PowerMargin:     2.0,
+	}
+}
+
+// Validate reports configuration errors.
+func (c Config) Validate() error {
+	switch {
+	case c.SlotTime <= 0 || c.SIFS <= 0 || c.DIFS <= 0:
+		return fmt.Errorf("mac: non-positive interframe timing")
+	case c.BasicRateBps <= 0 || c.DataRateBps <= 0:
+		return fmt.Errorf("mac: non-positive bit rate")
+	case c.CWMin < 1 || c.CWMax < c.CWMin:
+		return fmt.Errorf("mac: bad contention window [%d,%d]", c.CWMin, c.CWMax)
+	case c.QueueCap < 1:
+		return fmt.Errorf("mac: queue capacity %d", c.QueueCap)
+	case c.MaxPayloadBytes < 1:
+		return fmt.Errorf("mac: max payload %d", c.MaxPayloadBytes)
+	case c.PowerMargin < 1:
+		return fmt.Errorf("mac: power margin %g < 1", c.PowerMargin)
+	}
+	return nil
+}
+
+// AirTime returns PLCP preamble plus payload serialization time for a
+// frame of the given size at the given rate.
+func (c Config) AirTime(bytes int, rateBps float64) sim.Duration {
+	return c.PLCP + sim.DurationOf(float64(bytes*8)/rateBps)
+}
+
+// FrameAirTime returns the airtime of a MAC frame: control frames at the
+// basic rate, data frames at the data rate.
+func (c Config) FrameAirTime(f *packet.Frame) sim.Duration {
+	rate := c.BasicRateBps
+	if f.Kind == packet.KindData {
+		rate = c.DataRateBps
+	}
+	return c.AirTime(f.Bytes(), rate)
+}
+
+// EIFS is the extended interframe space used after an errored reception:
+// SIFS + DIFS + the time to send an ACK at the basic rate, long enough
+// to protect a response frame the deferring station could not decode.
+func (c Config) EIFS() sim.Duration {
+	return c.SIFS + c.DIFS + c.AirTime(packet.AckBytes, c.BasicRateBps)
+}
+
+// ctsTimeout is how long a sender waits for a CTS after its RTS leaves
+// the air; sized for the extended (power-control) CTS.
+func (c Config) ctsTimeout() sim.Duration {
+	return c.SIFS + c.AirTime(packet.CTSBytes+packet.PCMACHeaderExtra, c.BasicRateBps) + 2*c.SlotTime
+}
+
+// ackTimeout is how long a sender waits for an ACK after its DATA leaves
+// the air; sized for the extended (power-control) ACK.
+func (c Config) ackTimeout() sim.Duration {
+	return c.SIFS + c.AirTime(packet.AckBytes+packet.PCMACHeaderExtra, c.BasicRateBps) + 2*c.SlotTime
+}
+
+// dataTimeout is how long a receiver waits for the DATA after its CTS
+// leaves the air; sized for the largest payload.
+func (c Config) dataTimeout() sim.Duration {
+	max := packet.DataHeaderBytes + packet.PCMACHeaderExtra + c.MaxPayloadBytes
+	return c.SIFS + c.AirTime(max, c.DataRateBps) + 2*c.SlotTime
+}

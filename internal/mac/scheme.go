@@ -1,0 +1,88 @@
+package mac
+
+import (
+	"fmt"
+
+	"repro/internal/packet"
+)
+
+// Scheme selects which of the paper's four protocols a MAC runs.
+type Scheme int
+
+// The four protocols of the paper's evaluation (Section IV).
+const (
+	// Basic is unmodified IEEE 802.11: every frame at the normal
+	// (maximal) power level, four-way handshake.
+	Basic Scheme = iota
+	// Scheme1 sends RTS/CTS at the normal power and DATA/ACK at the
+	// minimum needed power (the "basic power control" of [8]).
+	Scheme1
+	// Scheme2 sends all unicast frames at the minimum needed power.
+	Scheme2
+	// PCMAC is the paper's contribution: all unicast frames at the
+	// minimum needed power, a separate power-control channel announcing
+	// receiver noise tolerances, and a three-way RTS-CTS-DATA handshake
+	// for data packets (implicit acknowledgment via sent/received
+	// tables).
+	PCMAC
+)
+
+// String implements fmt.Stringer.
+func (s Scheme) String() string {
+	switch s {
+	case Basic:
+		return "basic802.11"
+	case Scheme1:
+		return "scheme1"
+	case Scheme2:
+		return "scheme2"
+	case PCMAC:
+		return "pcmac"
+	default:
+		return fmt.Sprintf("scheme(%d)", int(s))
+	}
+}
+
+// Schemes lists all four protocols in the paper's presentation order.
+func Schemes() []Scheme { return []Scheme{Basic, PCMAC, Scheme1, Scheme2} }
+
+// ParseScheme converts a CLI name to a Scheme.
+func ParseScheme(name string) (Scheme, error) {
+	switch name {
+	case "basic", "basic802.11", "802.11":
+		return Basic, nil
+	case "scheme1":
+		return Scheme1, nil
+	case "scheme2":
+		return Scheme2, nil
+	case "pcmac":
+		return PCMAC, nil
+	}
+	return 0, fmt.Errorf("mac: unknown scheme %q (want basic|scheme1|scheme2|pcmac)", name)
+}
+
+// usesPowerControl reports whether the scheme maintains a power-history
+// table and embeds transmit power in frame headers.
+func (s Scheme) usesPowerControl() bool { return s != Basic }
+
+// controlled reports whether frames of the given kind use the learned
+// minimum power (true) or the normal maximal power (false) under this
+// scheme.
+func (s Scheme) controlled(kind packet.FrameKind) bool {
+	switch s {
+	case Basic:
+		return false
+	case Scheme1:
+		// RTS and CTS at normal power; DATA and ACK at needed power.
+		return kind == packet.KindData || kind == packet.KindAck
+	case Scheme2, PCMAC:
+		return true
+	default:
+		return false
+	}
+}
+
+// threeWayData reports whether DATA packets use the RTS-CTS-DATA
+// handshake (no ACK). Only PCMAC does, and only for data packets —
+// unicast routing packets keep the four-way handshake (paper Step 7).
+func (s Scheme) threeWayData() bool { return s == PCMAC }

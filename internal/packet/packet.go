@@ -1,0 +1,183 @@
+// Package packet defines the frame and packet vocabulary shared by the
+// MAC, routing, and traffic layers: node addresses, MAC frames
+// (RTS/CTS/DATA/ACK), the PCMAC power-control broadcast frame of the
+// paper's Figure 7, and the network-layer packet envelope.
+package packet
+
+import (
+	"fmt"
+
+	"repro/internal/sim"
+)
+
+// NodeID addresses a terminal. The paper's control frame carries an
+// 8-bit node ID (networks of 50 nodes); we allow 16 bits and reject
+// IDs above 255 at the control-frame codec, which enforces the Figure 7
+// layout.
+type NodeID uint16
+
+// Broadcast is the all-stations address.
+const Broadcast NodeID = 0xFFFF
+
+func (n NodeID) String() string {
+	if n == Broadcast {
+		return "*"
+	}
+	return fmt.Sprintf("n%d", uint16(n))
+}
+
+// FrameKind enumerates MAC frame types.
+type FrameKind uint8
+
+// MAC frame kinds.
+const (
+	KindRTS FrameKind = iota + 1
+	KindCTS
+	KindData
+	KindAck
+)
+
+func (k FrameKind) String() string {
+	switch k {
+	case KindRTS:
+		return "RTS"
+	case KindCTS:
+		return "CTS"
+	case KindData:
+		return "DATA"
+	case KindAck:
+		return "ACK"
+	default:
+		return fmt.Sprintf("kind(%d)", uint8(k))
+	}
+}
+
+// Frame sizes in bytes, from the IEEE 802.11 frame formats the ns-2
+// model uses (RTS 20, CTS/ACK 14, data MAC header 28 + payload).
+const (
+	RTSBytes        = 20
+	CTSBytes        = 14
+	AckBytes        = 14
+	DataHeaderBytes = 28
+	// PCMACHeaderExtra is the extra header room PCMAC and the power
+	// schemes add to carry transmit power, sender noise, required data
+	// power, and the implicit-ack (session, sequence) pair.
+	PCMACHeaderExtra = 8
+)
+
+// Frame is a MAC frame on the data channel. Power-control metadata
+// fields are zero unless the active policy fills them in.
+type Frame struct {
+	Kind FrameKind
+	// Src and Dst are the one-hop MAC addresses (Dst==Broadcast for
+	// broadcast frames, which skip the RTS/CTS exchange).
+	Src, Dst NodeID
+	// Duration is the NAV value: how long the medium stays reserved
+	// after this frame, per the 802.11 duration field.
+	Duration sim.Duration
+	// TxPowerW is the power this frame was sent at; the paper embeds it
+	// in frame heads so neighbours can learn propagation gains.
+	TxPowerW float64
+	// SenderNoiseW is the noise level observed at the RTS sender (the
+	// paper's N_A, used by the receiver to size the CTS power).
+	SenderNoiseW float64
+	// WantDataPowerW, in a CTS, tells the sender what power the
+	// receiver requires for the DATA frame (paper Step 3).
+	WantDataPowerW float64
+	// Session and Seq identify a data packet for the three-way
+	// handshake's sent/received tables.
+	Session uint32
+	Seq     uint32
+	// HasLast marks a PCMAC CTS carrying the implicit acknowledgment:
+	// LastSession/LastSeq echo the last data packet received from Dst.
+	HasLast     bool
+	LastSession uint32
+	LastSeq     uint32
+	// Extended marks frames carrying the power-control header extension
+	// (affects airtime).
+	Extended bool
+	// Payload is the network packet carried by a DATA frame.
+	Payload *NetPacket
+}
+
+// Bytes returns the frame's size on the air.
+func (f *Frame) Bytes() int {
+	var n int
+	switch f.Kind {
+	case KindRTS:
+		n = RTSBytes
+	case KindCTS:
+		n = CTSBytes
+	case KindAck:
+		n = AckBytes
+	case KindData:
+		n = DataHeaderBytes
+		if f.Payload != nil {
+			n += f.Payload.Bytes
+		}
+	default:
+		panic(fmt.Sprintf("packet: Bytes of unknown kind %d", f.Kind))
+	}
+	if f.Extended {
+		n += PCMACHeaderExtra
+	}
+	return n
+}
+
+func (f *Frame) String() string {
+	return fmt.Sprintf("%s %v->%v", f.Kind, f.Src, f.Dst)
+}
+
+// Protocol tags the payload type of a network packet.
+type Protocol uint8
+
+// Network-layer protocols.
+const (
+	ProtoUDP Protocol = iota + 1
+	ProtoAODV
+)
+
+func (p Protocol) String() string {
+	switch p {
+	case ProtoUDP:
+		return "UDP"
+	case ProtoAODV:
+		return "AODV"
+	default:
+		return fmt.Sprintf("proto(%d)", uint8(p))
+	}
+}
+
+// NetPacket is the network-layer envelope: an end-to-end packet routed
+// hop by hop by AODV and carried by MAC DATA frames.
+type NetPacket struct {
+	// UID is unique per packet copy for tracing and duplicate detection.
+	UID uint64
+	// Proto selects the payload interpretation.
+	Proto Protocol
+	// Src and Dst are end-to-end addresses.
+	Src, Dst NodeID
+	// TTL guards against routing loops.
+	TTL uint8
+	// Bytes is the payload size carried on the air (the paper fixes
+	// data packets at 512 bytes).
+	Bytes int
+	// FlowID and Seq identify a CBR flow and packet order within it.
+	FlowID uint32
+	Seq    uint32
+	// CreatedAt is the application send instant, for end-to-end delay.
+	CreatedAt sim.Time
+	// Payload carries protocol-specific data (e.g. an AODV message).
+	Payload any
+}
+
+func (p *NetPacket) String() string {
+	return fmt.Sprintf("%v %v->%v flow=%d seq=%d", p.Proto, p.Src, p.Dst, p.FlowID, p.Seq)
+}
+
+// Clone returns a copy of the packet sharing the payload pointer, used
+// when a sender retains a retransmission copy (paper Step 4).
+func (p *NetPacket) Clone() *NetPacket {
+	c := *p
+	return &c
+}

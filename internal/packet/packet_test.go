@@ -1,0 +1,231 @@
+package packet
+
+import (
+	"errors"
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/sim"
+)
+
+func TestFrameBytes(t *testing.T) {
+	cases := []struct {
+		f    Frame
+		want int
+	}{
+		{Frame{Kind: KindRTS}, 20},
+		{Frame{Kind: KindCTS}, 14},
+		{Frame{Kind: KindAck}, 14},
+		{Frame{Kind: KindData, Payload: &NetPacket{Bytes: 512}}, 540},
+		{Frame{Kind: KindData}, 28},
+		{Frame{Kind: KindRTS, Extended: true}, 28},
+		{Frame{Kind: KindCTS, Extended: true}, 22},
+		{Frame{Kind: KindData, Extended: true, Payload: &NetPacket{Bytes: 512}}, 548},
+	}
+	for _, c := range cases {
+		if got := c.f.Bytes(); got != c.want {
+			t.Errorf("%v Bytes = %d, want %d", c.f.Kind, got, c.want)
+		}
+	}
+}
+
+func TestFrameBytesUnknownKindPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("unknown kind did not panic")
+		}
+	}()
+	(&Frame{Kind: 99}).Bytes()
+}
+
+func TestStringers(t *testing.T) {
+	if got := KindRTS.String(); got != "RTS" {
+		t.Errorf("KindRTS = %q", got)
+	}
+	if got := FrameKind(42).String(); !strings.Contains(got, "42") {
+		t.Errorf("unknown kind String = %q", got)
+	}
+	if got := Broadcast.String(); got != "*" {
+		t.Errorf("Broadcast = %q", got)
+	}
+	if got := NodeID(7).String(); got != "n7" {
+		t.Errorf("NodeID(7) = %q", got)
+	}
+	if got := ProtoUDP.String(); got != "UDP" {
+		t.Errorf("ProtoUDP = %q", got)
+	}
+	if got := ProtoAODV.String(); got != "AODV" {
+		t.Errorf("ProtoAODV = %q", got)
+	}
+	if got := Protocol(9).String(); !strings.Contains(got, "9") {
+		t.Errorf("unknown proto = %q", got)
+	}
+	f := Frame{Kind: KindCTS, Src: 1, Dst: 2}
+	if got := f.String(); got != "CTS n1->n2" {
+		t.Errorf("Frame.String = %q", got)
+	}
+	p := NetPacket{Proto: ProtoUDP, Src: 1, Dst: 2, FlowID: 3, Seq: 4}
+	if got := p.String(); !strings.Contains(got, "flow=3") {
+		t.Errorf("NetPacket.String = %q", got)
+	}
+	c := CtrlFrame{Node: 5, ToleranceW: 1e-10}
+	if got := c.String(); !strings.Contains(got, "n5") {
+		t.Errorf("CtrlFrame.String = %q", got)
+	}
+}
+
+func TestNetPacketClone(t *testing.T) {
+	p := &NetPacket{UID: 9, Proto: ProtoUDP, Src: 1, Dst: 2, Bytes: 512, Seq: 3, CreatedAt: sim.Time(5)}
+	c := p.Clone()
+	if c == p {
+		t.Fatal("Clone returned the same pointer")
+	}
+	if *c != *p {
+		t.Fatalf("Clone differs: %+v vs %+v", c, p)
+	}
+	c.Seq = 99
+	if p.Seq != 3 {
+		t.Fatal("mutating clone affected original")
+	}
+}
+
+func TestCtrlFrameRoundTrip(t *testing.T) {
+	in := CtrlFrame{Node: 42, ToleranceW: 3.652e-11}
+	b, err := in.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(b) != CtrlFrameBytes {
+		t.Fatalf("marshalled length = %d, want %d (Figure 7: 48 bits)", len(b), CtrlFrameBytes)
+	}
+	out, err := UnmarshalCtrlFrame(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Node != in.Node {
+		t.Errorf("node = %v, want %v", out.Node, in.Node)
+	}
+	// Quantization error must stay within one step (~0.12% in power).
+	if math.Abs(out.ToleranceW-in.ToleranceW)/in.ToleranceW > 0.002 {
+		t.Errorf("tolerance = %v, want ~%v", out.ToleranceW, in.ToleranceW)
+	}
+}
+
+func TestCtrlFrameLayout(t *testing.T) {
+	// Figure 7: Preamble(16) | NodeID(8) | Tolerance(16) | FEC(8).
+	in := CtrlFrame{Node: 0xAB, ToleranceW: 1e-10}
+	b, err := in.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b[0] != 0xA5 || b[1] != 0x5A {
+		t.Errorf("preamble bytes = %x %x", b[0], b[1])
+	}
+	if b[2] != 0xAB {
+		t.Errorf("node byte = %x, want AB", b[2])
+	}
+	if b[5] != b[2]^b[3]^b[4] {
+		t.Errorf("FEC byte wrong: %x", b[5])
+	}
+}
+
+func TestCtrlFrameErrors(t *testing.T) {
+	if _, err := (&CtrlFrame{Node: 300}).Marshal(); !errors.Is(err, ErrNodeIDRange) {
+		t.Errorf("oversized node ID: err = %v", err)
+	}
+	if _, err := UnmarshalCtrlFrame([]byte{1, 2, 3}); !errors.Is(err, ErrCtrlFrameShort) {
+		t.Errorf("short frame: err = %v", err)
+	}
+	good, _ := (&CtrlFrame{Node: 1, ToleranceW: 1e-10}).Marshal()
+	bad := append([]byte(nil), good...)
+	bad[0] ^= 0xFF
+	if _, err := UnmarshalCtrlFrame(bad); !errors.Is(err, ErrCtrlFramePreamble) {
+		t.Errorf("preamble corruption: err = %v", err)
+	}
+	bad2 := append([]byte(nil), good...)
+	bad2[3] ^= 0x01
+	if _, err := UnmarshalCtrlFrame(bad2); !errors.Is(err, ErrCtrlFrameFEC) {
+		t.Errorf("payload corruption: err = %v", err)
+	}
+}
+
+func TestToleranceEncodingEdges(t *testing.T) {
+	if encodeToleranceW(0) != 0 {
+		t.Error("zero tolerance should encode to 0")
+	}
+	if encodeToleranceW(-1e-10) != 0 {
+		t.Error("negative tolerance should encode to 0")
+	}
+	if decodeToleranceW(0) != 0 {
+		t.Error("0 should decode to 0 W")
+	}
+	// Enormous tolerance saturates rather than wrapping.
+	if encodeToleranceW(1e10) != math.MaxUint16 {
+		t.Error("huge tolerance should saturate")
+	}
+	// Below the -200 dBm floor clamps to 0.
+	if encodeToleranceW(1e-24) != 0 {
+		t.Error("sub-floor tolerance should clamp to 0")
+	}
+}
+
+func TestPropertyToleranceRoundTrip(t *testing.T) {
+	f := func(mant float64, exp uint8) bool {
+		// Generate tolerances across the physically relevant range
+		// 1e-15..1e-3 W.
+		m := 1 + math.Abs(math.Mod(mant, 9))
+		e := -15 + int(exp%13)
+		w := m * math.Pow(10, float64(e))
+		q := encodeToleranceW(w)
+		back := decodeToleranceW(q)
+		if q == math.MaxUint16 {
+			return back <= w // saturated
+		}
+		return math.Abs(back-w)/w < 0.002
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropertyCtrlFrameRoundTrip(t *testing.T) {
+	f := func(node uint8, raw float64) bool {
+		w := math.Abs(math.Mod(raw, 1e-8))
+		in := CtrlFrame{Node: NodeID(node), ToleranceW: w}
+		b, err := in.Marshal()
+		if err != nil {
+			return false
+		}
+		out, err := UnmarshalCtrlFrame(b)
+		if err != nil {
+			return false
+		}
+		if out.Node != in.Node {
+			return false
+		}
+		if w == 0 {
+			return out.ToleranceW == 0
+		}
+		dec := decodeToleranceW(encodeToleranceW(w))
+		return out.ToleranceW == dec
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropertyToleranceMonotone(t *testing.T) {
+	f := func(a, b float64) bool {
+		wa := math.Abs(math.Mod(a, 1e-8))
+		wb := math.Abs(math.Mod(b, 1e-8))
+		if wa > wb {
+			wa, wb = wb, wa
+		}
+		return encodeToleranceW(wa) <= encodeToleranceW(wb)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

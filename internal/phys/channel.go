@@ -1,0 +1,127 @@
+package phys
+
+import (
+	"fmt"
+
+	"repro/internal/geom"
+	"repro/internal/sim"
+)
+
+// Transmission is one frame in flight on a channel. The payload is
+// opaque to the physical layer; the MAC layer stores its frame there.
+type Transmission struct {
+	// Seq is a channel-unique identifier, useful in traces.
+	Seq uint64
+	// From is the transmitting radio.
+	From *Radio
+	// PowerW is the radiated power in watts.
+	PowerW float64
+	// Bits is the frame length on the air, for bookkeeping.
+	Bits int
+	// Start is when the transmitter began emitting; Duration is the
+	// airtime.
+	Start    sim.Time
+	Duration sim.Duration
+	// Payload is the MAC frame being carried.
+	Payload any
+	// SrcPos is the transmitter position captured at Start.
+	SrcPos geom.Point
+}
+
+// End returns the instant the transmitter stops emitting.
+func (t *Transmission) End() sim.Time { return t.Start.Add(t.Duration) }
+
+func (t *Transmission) String() string {
+	return fmt.Sprintf("tx#%d from r%d %.1fmW %dbits @%v", t.Seq, t.From.ID(), t.PowerW*1e3, t.Bits, t.Start)
+}
+
+// Channel is a shared broadcast medium: every transmission deposits
+// power at every attached radio according to the propagation model, with
+// speed-of-light delay. PCMAC's separate power-control channel is simply
+// a second Channel holding the same radios' twins (paper assumption 1:
+// the two channels do not interfere but share propagation behaviour).
+type Channel struct {
+	sched *sim.Scheduler
+	model Propagation
+	par   Params
+
+	radios []*Radio
+	seq    uint64
+
+	// deliverFloorW prunes deliveries below the carrier-sense
+	// threshold. This matches the ns-2 PHY the paper used: frames too
+	// weak to sense are dropped at the interface and contribute
+	// neither carrier nor interference. (A physically stricter model
+	// would integrate them into the noise floor; ns-2's evaluation —
+	// and therefore the paper's — does not.)
+	deliverFloorW float64
+}
+
+// NewChannel creates an empty channel using the given propagation model
+// and constants.
+func NewChannel(sched *sim.Scheduler, model Propagation, par Params) *Channel {
+	return &Channel{
+		sched:         sched,
+		model:         model,
+		par:           par,
+		deliverFloorW: par.CsThreshW,
+	}
+}
+
+// Params returns the channel's physical constants.
+func (c *Channel) Params() Params { return c.par }
+
+// Model returns the channel's propagation model.
+func (c *Channel) Model() Propagation { return c.model }
+
+// Scheduler returns the event scheduler the channel runs on.
+func (c *Channel) Scheduler() *sim.Scheduler { return c.sched }
+
+// AttachRadio creates a radio on this channel at the position reported
+// by pos (sampled lazily, so mobile nodes just pass their position
+// function) and delivers events to h.
+func (c *Channel) AttachRadio(id int, pos func() geom.Point, h Handler) *Radio {
+	r := &Radio{
+		ch:       c,
+		id:       id,
+		pos:      pos,
+		h:        h,
+		arrivals: make(map[*Transmission]*arrival),
+	}
+	c.radios = append(c.radios, r)
+	return r
+}
+
+// Radios returns all radios attached to the channel.
+func (c *Channel) Radios() []*Radio { return c.radios }
+
+// transmit starts a frame on the air from r. It is called by
+// Radio.Transmit, which validates state.
+func (c *Channel) transmit(r *Radio, powerW float64, bits int, dur sim.Duration, payload any) *Transmission {
+	c.seq++
+	tx := &Transmission{
+		Seq:      c.seq,
+		From:     r,
+		PowerW:   powerW,
+		Bits:     bits,
+		Start:    c.sched.Now(),
+		Duration: dur,
+		Payload:  payload,
+		SrcPos:   r.pos(),
+	}
+	for _, o := range c.radios {
+		if o == r {
+			continue
+		}
+		dist := tx.SrcPos.Dist(o.pos())
+		pr := c.model.ReceivedPower(powerW, dist)
+		if pr < c.deliverFloorW {
+			continue
+		}
+		delay := sim.DurationOf(dist / SpeedOfLight)
+		o := o
+		c.sched.Schedule(delay, func() { o.beginArrival(tx, pr) })
+		c.sched.Schedule(delay+dur, func() { o.endArrival(tx) })
+	}
+	return tx
+}

@@ -1,0 +1,99 @@
+package phys
+
+import "math"
+
+// Propagation computes received power from transmitted power and
+// distance. Implementations must be deterministic so simulation runs are
+// reproducible.
+type Propagation interface {
+	// ReceivedPower returns the power (W) observed at a receiver dist
+	// metres from a transmitter emitting txPower watts.
+	ReceivedPower(txPower, dist float64) float64
+	// Name identifies the model in traces and docs.
+	Name() string
+}
+
+// FreeSpace is the Friis free-space model:
+// Pr = Pt*Gt*Gr*lambda^2 / ((4*pi*d)^2 * L).
+type FreeSpace struct {
+	p Params
+}
+
+// NewFreeSpace returns a Friis model with the given constants.
+func NewFreeSpace(p Params) *FreeSpace { return &FreeSpace{p: p} }
+
+// Name implements Propagation.
+func (*FreeSpace) Name() string { return "freespace" }
+
+// ReceivedPower implements Propagation. At zero distance it returns the
+// transmit power (the self-reception degenerate case never used by the
+// channel, which skips the sender).
+func (f *FreeSpace) ReceivedPower(txPower, dist float64) float64 {
+	if dist <= 0 {
+		return txPower
+	}
+	lambda := f.p.Wavelength()
+	denom := 4 * math.Pi * dist
+	return txPower * f.p.TxAntennaGain * f.p.RxAntennaGain * lambda * lambda /
+		(denom * denom * f.p.SystemLoss)
+}
+
+// TwoRayGround is ns-2's TwoRayGround model: Friis below the crossover
+// distance, and the ground-reflection approximation
+// Pr = Pt*Gt*Gr*ht^2*hr^2 / (d^4 * L) beyond it. This is the model the
+// paper's ten power levels and 250 m / 550 m zone radii come from.
+type TwoRayGround struct {
+	p         Params
+	friis     *FreeSpace
+	crossover float64
+}
+
+// NewTwoRayGround returns a two-ray model with the given constants.
+func NewTwoRayGround(p Params) *TwoRayGround {
+	return &TwoRayGround{p: p, friis: NewFreeSpace(p), crossover: p.CrossoverDist()}
+}
+
+// Name implements Propagation.
+func (*TwoRayGround) Name() string { return "tworayground" }
+
+// Crossover returns the Friis/ground-reflection switch distance.
+func (m *TwoRayGround) Crossover() float64 { return m.crossover }
+
+// ReceivedPower implements Propagation.
+func (m *TwoRayGround) ReceivedPower(txPower, dist float64) float64 {
+	if dist < m.crossover {
+		return m.friis.ReceivedPower(txPower, dist)
+	}
+	h2 := m.p.AntennaHeightM * m.p.AntennaHeightM
+	d2 := dist * dist
+	return txPower * m.p.TxAntennaGain * m.p.RxAntennaGain * h2 * h2 /
+		(d2 * d2 * m.p.SystemLoss)
+}
+
+// TxPowerForRange returns the transmit power needed so that the received
+// power at exactly dist metres equals thresh watts — the inverse of
+// ReceivedPower. It is how the paper's power-level table (1 mW -> 40 m,
+// ..., 281.8 mW -> 250 m) is generated.
+func (m *TwoRayGround) TxPowerForRange(dist, thresh float64) float64 {
+	// ReceivedPower is linear in txPower, so invert by proportion.
+	unit := m.ReceivedPower(1.0, dist)
+	return thresh / unit
+}
+
+// RangeForTxPower returns the distance at which received power falls to
+// thresh when transmitting at txPower — the decode (thresh=RxThresh) or
+// carrier-sense (thresh=CsThresh) zone radius of the paper's Figure 3.
+func (m *TwoRayGround) RangeForTxPower(txPower, thresh float64) float64 {
+	// Try the Friis regime first.
+	lambda := m.p.Wavelength()
+	k := txPower * m.p.TxAntennaGain * m.p.RxAntennaGain * lambda * lambda /
+		(16 * math.Pi * math.Pi * m.p.SystemLoss)
+	d := math.Sqrt(k / thresh)
+	if d < m.crossover {
+		return d
+	}
+	// Ground-reflection regime.
+	h2 := m.p.AntennaHeightM * m.p.AntennaHeightM
+	k = txPower * m.p.TxAntennaGain * m.p.RxAntennaGain * h2 * h2 / m.p.SystemLoss
+	return math.Pow(k/thresh, 0.25)
+}

@@ -1,0 +1,219 @@
+package phys
+
+import (
+	"fmt"
+
+	"repro/internal/geom"
+	"repro/internal/sim"
+)
+
+// Handler receives physical-layer events. The MAC layer implements it.
+// All callbacks run on the simulation goroutine.
+type Handler interface {
+	// RadioRxBegin fires when the radio locks onto an arriving frame
+	// (preamble acquired). PCMAC's receiver uses this instant to measure
+	// signal and interference and announce its noise tolerance.
+	RadioRxBegin(tx *Transmission, rxPowerW float64)
+	// RadioRx fires when an arrival ends. err is true when the frame
+	// could be sensed but not decoded — too weak, collided, or arrived
+	// while the radio was busy — the condition that triggers the 802.11
+	// EIFS defer. Clean receptions have err == false.
+	RadioRx(tx *Transmission, rxPowerW float64, err bool)
+	// RadioCarrierBusy / RadioCarrierIdle report physical carrier-sense
+	// transitions (total in-band power crossing CsThresh, or own
+	// transmission starting/ending).
+	RadioCarrierBusy()
+	RadioCarrierIdle()
+	// RadioTxDone fires when this radio's own transmission leaves the
+	// air.
+	RadioTxDone(tx *Transmission)
+}
+
+// arrival is the per-radio bookkeeping for one in-flight transmission.
+type arrival struct {
+	tx     *Transmission
+	powerW float64
+	locked bool    // radio is decoding this frame
+	peakIn float64 // worst interference seen while locked
+	killed bool    // radio started transmitting during the lock
+}
+
+// Radio is a half-duplex transceiver attached to one Channel. It
+// implements the SINR/capture reception model described in DESIGN.md:
+// it locks onto the first decodable arrival, accumulates all other
+// arriving power as interference, and delivers the frame corrupted if
+// the worst-case SINR during the lock fell below the capture ratio.
+type Radio struct {
+	ch  *Channel
+	id  int
+	pos func() geom.Point
+	h   Handler
+
+	txUntil   sim.Time // end of own transmission, 0 when idle
+	currentTx *Transmission
+
+	current  *arrival // locked arrival, nil when none
+	arrivals map[*Transmission]*arrival
+
+	busy bool // last carrier state reported to the handler
+
+	// EnergyTxJ accumulates radiated energy, the quantity power control
+	// trades against capacity.
+	EnergyTxJ float64
+}
+
+// ID returns the identifier given at attach time.
+func (r *Radio) ID() int { return r.id }
+
+// Pos returns the radio's current position.
+func (r *Radio) Pos() geom.Point { return r.pos() }
+
+// Channel returns the channel the radio is attached to.
+func (r *Radio) Channel() *Channel { return r.ch }
+
+// Transmitting reports whether the radio is currently emitting.
+func (r *Radio) Transmitting() bool { return r.txUntil > r.ch.sched.Now() }
+
+// Receiving reports whether the radio is locked onto a frame.
+func (r *Radio) Receiving() bool { return r.current != nil }
+
+// CurrentRxPower returns the locked frame's received power, or 0 when
+// the radio is not receiving.
+func (r *Radio) CurrentRxPower() float64 {
+	if r.current == nil {
+		return 0
+	}
+	return r.current.powerW
+}
+
+// Interference returns the summed power of all non-locked arrivals.
+func (r *Radio) Interference() float64 {
+	var sum float64
+	for _, a := range r.arrivals {
+		if !a.locked {
+			sum += a.powerW
+		}
+	}
+	return sum
+}
+
+// TotalPower returns all in-band power at the antenna.
+func (r *Radio) TotalPower() float64 {
+	var sum float64
+	for _, a := range r.arrivals {
+		sum += a.powerW
+	}
+	return sum
+}
+
+// CarrierBusy reports physical carrier sense: own transmission, or total
+// in-band power at or above the carrier-sense threshold.
+func (r *Radio) CarrierBusy() bool {
+	return r.Transmitting() || r.TotalPower() >= r.ch.par.CsThreshW
+}
+
+// Transmit puts a frame of the given size on the air at powerW watts for
+// dur. Transmitting while already transmitting panics (a MAC bug);
+// transmitting while receiving silently aborts the reception, as real
+// half-duplex hardware would.
+func (r *Radio) Transmit(powerW float64, bits int, dur sim.Duration, payload any) *Transmission {
+	if r.Transmitting() {
+		panic(fmt.Sprintf("phys: radio %d transmit while transmitting", r.id))
+	}
+	if powerW <= 0 || dur <= 0 {
+		panic(fmt.Sprintf("phys: radio %d invalid transmit power=%g dur=%d", r.id, powerW, dur))
+	}
+	if r.current != nil {
+		// Abort the in-progress reception: the frame will not be
+		// delivered, and its power is plain interference from now on.
+		r.current.killed = true
+		r.current.locked = false
+		r.current = nil
+	}
+	now := r.ch.sched.Now()
+	r.txUntil = now.Add(dur)
+	tx := r.ch.transmit(r, powerW, bits, dur, payload)
+	r.currentTx = tx
+	r.EnergyTxJ += powerW * dur.Seconds()
+	r.ch.sched.Schedule(dur, func() {
+		r.currentTx = nil
+		r.updateCarrier()
+		r.h.RadioTxDone(tx)
+	})
+	r.updateCarrier()
+	return tx
+}
+
+// beginArrival is called by the channel when a transmission's leading
+// edge reaches this radio.
+func (r *Radio) beginArrival(tx *Transmission, powerW float64) {
+	a := &arrival{tx: tx, powerW: powerW}
+	// Interference from everything already on the air, before a is
+	// registered.
+	others := r.Interference()
+	r.arrivals[tx] = a
+	par := r.ch.par
+	canLock := !r.Transmitting() && r.current == nil &&
+		powerW >= par.RxThreshW &&
+		powerW >= par.CaptureRatio*(par.NoiseFloorW+others)
+	if canLock {
+		// Preamble acquired: decode this frame, tracking the worst
+		// interference seen until its end.
+		a.locked = true
+		a.peakIn = others
+		r.current = a
+		r.updateCarrier()
+		r.h.RadioRxBegin(tx, powerW)
+		return
+	}
+	// The arrival is interference. If a frame is being decoded, the
+	// interference level just rose; remember the peak.
+	if r.current != nil {
+		if in := r.Interference(); in > r.current.peakIn {
+			r.current.peakIn = in
+		}
+	}
+	r.updateCarrier()
+}
+
+// endArrival is called by the channel when a transmission's trailing
+// edge passes this radio.
+func (r *Radio) endArrival(tx *Transmission) {
+	a, ok := r.arrivals[tx]
+	if !ok {
+		return
+	}
+	delete(r.arrivals, tx)
+	par := r.ch.par
+	switch {
+	case a.killed:
+		// Reception aborted by our own transmission: drop silently.
+	case a.locked:
+		r.current = nil
+		sinrOK := a.powerW >= par.CaptureRatio*(par.NoiseFloorW+a.peakIn)
+		r.updateCarrier()
+		r.h.RadioRx(tx, a.powerW, !sinrOK)
+		return
+	case a.powerW >= par.CsThreshW && !r.Transmitting():
+		// Sensed but never decoded: report as an errored reception so
+		// the MAC can apply its EIFS defer.
+		r.updateCarrier()
+		r.h.RadioRx(tx, a.powerW, true)
+		return
+	}
+	r.updateCarrier()
+}
+
+// updateCarrier reports busy/idle edges to the handler.
+func (r *Radio) updateCarrier() {
+	b := r.CarrierBusy()
+	if b == r.busy {
+		return
+	}
+	r.busy = b
+	if b {
+		r.h.RadioCarrierBusy()
+	} else {
+		r.h.RadioCarrierIdle()
+	}
+}

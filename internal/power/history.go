@@ -1,0 +1,94 @@
+package power
+
+import (
+	"repro/internal/packet"
+	"repro/internal/sim"
+)
+
+// HistoryEntry records what a terminal has learned about the link to one
+// neighbour from the last frame it heard from them.
+type HistoryEntry struct {
+	// Gain is the linear propagation gain Pr/Pt (paper assumption 2
+	// makes it symmetric, so it serves both directions).
+	Gain float64
+	// UpdatedAt is when the entry was last refreshed.
+	UpdatedAt sim.Time
+}
+
+// History is the paper's per-terminal "power history table": for every
+// neighbour recently heard from, the propagation gain and therefore the
+// needed power level to reach it. Entries expire after Expiry (3 s in
+// the paper); expired entries read as absent and the caller falls back
+// to the normal (maximal) power level.
+type History struct {
+	// Expiry is the entry lifetime. Zero or negative disables expiry.
+	Expiry sim.Duration
+
+	clock   func() sim.Time
+	entries map[packet.NodeID]HistoryEntry
+}
+
+// NewHistory returns an empty table reading time from clock.
+func NewHistory(clock func() sim.Time, expiry sim.Duration) *History {
+	return &History{
+		Expiry:  expiry,
+		clock:   clock,
+		entries: make(map[packet.NodeID]HistoryEntry),
+	}
+}
+
+// Observe learns from a frame heard from neighbour `from`, transmitted
+// at txPowerW and received at rxPowerW. Non-positive powers are ignored
+// (frames without the power header extension).
+func (h *History) Observe(from packet.NodeID, txPowerW, rxPowerW float64) {
+	if txPowerW <= 0 || rxPowerW <= 0 {
+		return
+	}
+	h.entries[from] = HistoryEntry{
+		Gain:      rxPowerW / txPowerW,
+		UpdatedAt: h.clock(),
+	}
+}
+
+// Gain returns the propagation gain to neighbour id, if a fresh entry
+// exists.
+func (h *History) Gain(id packet.NodeID) (float64, bool) {
+	e, ok := h.entries[id]
+	if !ok || h.stale(e) {
+		delete(h.entries, id)
+		return 0, false
+	}
+	return e.Gain, true
+}
+
+// NeededPower returns the transmit power required to deliver rxThreshW
+// at neighbour id (the paper's P_needed = P_thresh * Pt / Pr), or
+// (0, false) when no fresh entry exists and the caller must use the
+// maximum level.
+func (h *History) NeededPower(id packet.NodeID, rxThreshW float64) (float64, bool) {
+	g, ok := h.Gain(id)
+	if !ok || g <= 0 {
+		return 0, false
+	}
+	return rxThreshW / g, true
+}
+
+// Forget removes the entry for id (used when a link is declared dead).
+func (h *History) Forget(id packet.NodeID) { delete(h.entries, id) }
+
+// Len returns the number of stored (possibly stale) entries.
+func (h *History) Len() int { return len(h.entries) }
+
+// Sweep drops all stale entries; the table also drops them lazily on
+// access, so Sweep is only needed to bound memory in long runs.
+func (h *History) Sweep() {
+	for id, e := range h.entries {
+		if h.stale(e) {
+			delete(h.entries, id)
+		}
+	}
+}
+
+func (h *History) stale(e HistoryEntry) bool {
+	return h.Expiry > 0 && h.clock().Sub(e.UpdatedAt) > h.Expiry
+}

@@ -1,0 +1,350 @@
+package power
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/packet"
+	"repro/internal/sim"
+)
+
+func TestDefaultLevels(t *testing.T) {
+	l := DefaultLevels()
+	if err := l.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if len(l) != 10 {
+		t.Fatalf("len = %d, want 10 (paper Section IV)", len(l))
+	}
+	if l.Max() != 0.2818 {
+		t.Errorf("Max = %v, want 0.2818 W", l.Max())
+	}
+	if l.Min() != 0.001 {
+		t.Errorf("Min = %v, want 1 mW", l.Min())
+	}
+}
+
+func TestValidate(t *testing.T) {
+	if err := (Levels{}).Validate(); err == nil {
+		t.Error("empty set validated")
+	}
+	if err := (Levels{0.1, 0.1}).Validate(); err == nil {
+		t.Error("non-ascending set validated")
+	}
+	if err := (Levels{-1, 0.1}).Validate(); err == nil {
+		t.Error("negative level validated")
+	}
+	if err := (Levels{0.001, 0.01}).Validate(); err != nil {
+		t.Errorf("good set rejected: %v", err)
+	}
+}
+
+func TestQuantize(t *testing.T) {
+	l := DefaultLevels()
+	cases := []struct{ in, want float64 }{
+		{0.0005, 0.001},  // below min -> min
+		{0.001, 0.001},   // exact level
+		{0.0011, 0.002},  // rounds up, never down
+		{0.016, 0.0366},  // between levels
+		{0.2818, 0.2818}, // exact max
+		{1.0, 0.2818},    // above max clamps
+		{0, 0.001},       // zero -> min
+		{-5, 0.001},      // negative -> min
+	}
+	for _, c := range cases {
+		if got := l.Quantize(c.in); got != c.want {
+			t.Errorf("Quantize(%v) = %v, want %v", c.in, got, c.want)
+		}
+	}
+}
+
+func TestPropertyQuantizeSufficient(t *testing.T) {
+	l := DefaultLevels()
+	f := func(raw float64) bool {
+		w := math.Abs(math.Mod(raw, 0.4))
+		q := l.Quantize(w)
+		if w <= l.Max() && q < w {
+			return false // quantized power must always suffice
+		}
+		// And it is a valid level.
+		for _, v := range l {
+			if v == q {
+				return true
+			}
+		}
+		return false
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStepUp(t *testing.T) {
+	l := DefaultLevels()
+	next, ok := l.StepUp(0.001)
+	if !ok || next != 0.002 {
+		t.Errorf("StepUp(1mW) = %v,%v", next, ok)
+	}
+	next, ok = l.StepUp(0.2818)
+	if ok || next != 0.2818 {
+		t.Errorf("StepUp(max) = %v,%v, want max,false", next, ok)
+	}
+	next, ok = l.StepUp(0.0119) // between levels
+	if !ok || next != 0.015 {
+		t.Errorf("StepUp(11.9mW) = %v,%v, want 15mW,true", next, ok)
+	}
+	// Walking up from the bottom visits every level: the paper's
+	// "increase by one class until maximal".
+	w := 0.0
+	steps := 0
+	for {
+		n, ok := l.StepUp(w)
+		if !ok {
+			break
+		}
+		w = n
+		steps++
+	}
+	if steps != len(l) {
+		t.Errorf("walked %d steps, want %d", steps, len(l))
+	}
+}
+
+func TestIndex(t *testing.T) {
+	l := DefaultLevels()
+	if i := l.Index(0.001); i != 0 {
+		t.Errorf("Index(min) = %d", i)
+	}
+	if i := l.Index(1.0); i != 9 {
+		t.Errorf("Index(huge) = %d", i)
+	}
+	if i := l.Index(0.02); i != 7 {
+		t.Errorf("Index(20mW) = %d, want 7 (36.6mW)", i)
+	}
+}
+
+type fakeClock struct{ now sim.Time }
+
+func (c *fakeClock) fn() func() sim.Time { return func() sim.Time { return c.now } }
+
+func TestHistoryObserveAndNeeded(t *testing.T) {
+	c := &fakeClock{}
+	h := NewHistory(c.fn(), 3*sim.Second)
+	// Heard node 7 at 1e-9 W, sent at 0.1 W: gain 1e-8.
+	h.Observe(7, 0.1, 1e-9)
+	g, ok := h.Gain(7)
+	if !ok || g != 1e-8 {
+		t.Fatalf("Gain = %v,%v", g, ok)
+	}
+	need, ok := h.NeededPower(7, 3.652e-10)
+	if !ok || math.Abs(need-3.652e-2)/3.652e-2 > 1e-12 {
+		t.Fatalf("NeededPower = %v,%v, want ~0.03652", need, ok)
+	}
+	if _, ok := h.Gain(8); ok {
+		t.Error("unknown neighbour returned a gain")
+	}
+}
+
+func TestHistoryExpiry(t *testing.T) {
+	c := &fakeClock{}
+	h := NewHistory(c.fn(), 3*sim.Second)
+	h.Observe(7, 0.1, 1e-9)
+	c.now = sim.Time(2 * sim.Second)
+	if _, ok := h.Gain(7); !ok {
+		t.Fatal("entry expired early")
+	}
+	c.now = sim.Time(3*sim.Second + 1)
+	if _, ok := h.Gain(7); ok {
+		t.Fatal("entry survived past expiry")
+	}
+	if h.Len() != 0 {
+		t.Fatal("stale entry not removed on access")
+	}
+}
+
+func TestHistoryRefreshResetsExpiry(t *testing.T) {
+	c := &fakeClock{}
+	h := NewHistory(c.fn(), 3*sim.Second)
+	h.Observe(7, 0.1, 1e-9)
+	c.now = sim.Time(2 * sim.Second)
+	h.Observe(7, 0.1, 2e-9)
+	c.now = sim.Time(4 * sim.Second)
+	g, ok := h.Gain(7)
+	if !ok || g != 2e-8 {
+		t.Fatalf("refreshed entry: %v,%v", g, ok)
+	}
+}
+
+func TestHistoryIgnoresInvalid(t *testing.T) {
+	c := &fakeClock{}
+	h := NewHistory(c.fn(), 3*sim.Second)
+	h.Observe(7, 0, 1e-9)
+	h.Observe(7, 0.1, 0)
+	h.Observe(7, -1, -1)
+	if h.Len() != 0 {
+		t.Fatal("invalid observations stored")
+	}
+}
+
+func TestHistorySweepAndForget(t *testing.T) {
+	c := &fakeClock{}
+	h := NewHistory(c.fn(), 3*sim.Second)
+	h.Observe(1, 0.1, 1e-9)
+	h.Observe(2, 0.1, 1e-9)
+	c.now = sim.Time(4 * sim.Second)
+	h.Observe(3, 0.1, 1e-9)
+	h.Sweep()
+	if h.Len() != 1 {
+		t.Fatalf("after sweep Len = %d, want 1", h.Len())
+	}
+	h.Forget(3)
+	if h.Len() != 0 {
+		t.Fatal("Forget left the entry")
+	}
+}
+
+func TestHistoryNoExpiry(t *testing.T) {
+	c := &fakeClock{}
+	h := NewHistory(c.fn(), 0)
+	h.Observe(1, 0.1, 1e-9)
+	c.now = sim.Time(1000 * sim.Second)
+	if _, ok := h.Gain(1); !ok {
+		t.Fatal("expiry-disabled entry vanished")
+	}
+}
+
+func TestRegistryCheck(t *testing.T) {
+	c := &fakeClock{}
+	r := NewRegistry(c.fn(), 0.7)
+	// Receiver 5, tolerance 1e-10 W, gain from us 1e-9, active 2 ms.
+	r.Note(5, 1e-10, 1e-9, sim.Time(2*sim.Millisecond))
+	// 0.2818 W * 1e-9 = 2.8e-10 > 0.7e-10: blocked.
+	ok, wait := r.Check(0.2818, packet.Broadcast)
+	if ok {
+		t.Fatal("max power should be blocked")
+	}
+	if wait != 2*sim.Millisecond {
+		t.Fatalf("wait = %v, want 2ms", wait)
+	}
+	// 0.01 W * 1e-9 = 1e-11 < 7e-11: allowed.
+	if ok, _ := r.Check(0.01, packet.Broadcast); !ok {
+		t.Fatal("low power should pass")
+	}
+}
+
+func TestRegistryExcludesPeer(t *testing.T) {
+	c := &fakeClock{}
+	r := NewRegistry(c.fn(), 0.7)
+	r.Note(5, 1e-12, 1e-9, sim.Time(sim.Second))
+	if ok, _ := r.Check(0.2818, 5); !ok {
+		t.Fatal("transmission to the announcing receiver itself must not self-block")
+	}
+	if ok, _ := r.Check(0.2818, 6); ok {
+		t.Fatal("other destinations must still be checked")
+	}
+}
+
+func TestRegistryExpiry(t *testing.T) {
+	c := &fakeClock{}
+	r := NewRegistry(c.fn(), 0.7)
+	r.Note(5, 1e-12, 1e-9, sim.Time(sim.Millisecond))
+	c.now = sim.Time(sim.Millisecond)
+	if ok, _ := r.Check(0.2818, packet.Broadcast); !ok {
+		t.Fatal("expired entry still blocking")
+	}
+	if r.Active() != 0 {
+		t.Fatal("expired entry still counted")
+	}
+}
+
+func TestRegistryMultipleBlockersWaitsForLast(t *testing.T) {
+	c := &fakeClock{}
+	r := NewRegistry(c.fn(), 0.7)
+	r.Note(5, 1e-12, 1e-9, sim.Time(2*sim.Millisecond))
+	r.Note(6, 1e-12, 1e-9, sim.Time(5*sim.Millisecond))
+	ok, wait := r.Check(0.2818, packet.Broadcast)
+	if ok || wait != 5*sim.Millisecond {
+		t.Fatalf("Check = %v,%v; want blocked until 5ms", ok, wait)
+	}
+}
+
+func TestRegistryMaxSafePower(t *testing.T) {
+	c := &fakeClock{}
+	r := NewRegistry(c.fn(), 0.7)
+	l := DefaultLevels()
+	if got := r.MaxSafePower(l, packet.Broadcast); got != l.Max() {
+		t.Fatalf("empty registry MaxSafePower = %v, want max", got)
+	}
+	// Tolerance budget 0.7*1e-10/1e-9 = 0.07 W: the 36.6 mW level passes,
+	// 75.8 mW does not.
+	r.Note(5, 1e-10, 1e-9, sim.Time(sim.Second))
+	if got := r.MaxSafePower(l, packet.Broadcast); got != 0.0366 {
+		t.Fatalf("MaxSafePower = %v, want 0.0366", got)
+	}
+	// Impossibly tight tolerance blocks everything.
+	r.Note(6, 1e-20, 1e-3, sim.Time(sim.Second))
+	if got := r.MaxSafePower(l, packet.Broadcast); got != 0 {
+		t.Fatalf("MaxSafePower = %v, want 0", got)
+	}
+}
+
+func TestRegistryDrop(t *testing.T) {
+	c := &fakeClock{}
+	r := NewRegistry(c.fn(), 0.7)
+	r.Note(5, 1e-12, 1e-9, sim.Time(sim.Second))
+	r.Drop(5)
+	if ok, _ := r.Check(0.2818, packet.Broadcast); !ok {
+		t.Fatal("dropped entry still blocking")
+	}
+}
+
+func TestPropertySafetyFactorMonotone(t *testing.T) {
+	// A higher safety factor can only admit more transmissions.
+	c := &fakeClock{}
+	f := func(tolRaw, gainRaw, pRaw float64) bool {
+		tol := 1e-13 + math.Abs(math.Mod(tolRaw, 1e-9))
+		gain := 1e-12 + math.Abs(math.Mod(gainRaw, 1e-6))
+		p := 1e-3 + math.Abs(math.Mod(pRaw, 0.3))
+		lo := NewRegistry(c.fn(), 0.5)
+		hi := NewRegistry(c.fn(), 0.9)
+		lo.Note(1, tol, gain, sim.Time(sim.Second))
+		hi.Note(1, tol, gain, sim.Time(sim.Second))
+		okLo, _ := lo.Check(p, packet.Broadcast)
+		okHi, _ := hi.Check(p, packet.Broadcast)
+		if okLo && !okHi {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropertyQuantizeIdempotent(t *testing.T) {
+	l := DefaultLevels()
+	f := func(raw float64) bool {
+		w := math.Abs(math.Mod(raw, 0.5))
+		q := l.Quantize(w)
+		return l.Quantize(q) == q
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropertyStepUpStrictlyIncreases(t *testing.T) {
+	l := DefaultLevels()
+	f := func(raw float64) bool {
+		w := math.Abs(math.Mod(raw, 0.3))
+		next, ok := l.StepUp(w)
+		if !ok {
+			return w >= l.Max() || next == l.Max()
+		}
+		return next > w
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,174 @@
+package scenario
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+
+	"repro/internal/geom"
+	"repro/internal/mac"
+	"repro/internal/packet"
+	"repro/internal/sim"
+)
+
+// FileConfig is the JSON representation of a scenario, with durations in
+// seconds and the scheme by name, so experiment configurations can live
+// in version-controlled files:
+//
+//	{
+//	  "scheme": "pcmac",
+//	  "nodes": 50,
+//	  "offered_load_kbps": 400,
+//	  "duration_s": 200,
+//	  "flows": 10,
+//	  "seed": 1
+//	}
+type FileConfig struct {
+	Scheme             string       `json:"scheme"`
+	Nodes              int          `json:"nodes,omitempty"`
+	FieldW             float64      `json:"field_w_m,omitempty"`
+	FieldH             float64      `json:"field_h_m,omitempty"`
+	SpeedMin           float64      `json:"speed_min_mps,omitempty"`
+	SpeedMax           float64      `json:"speed_max_mps,omitempty"`
+	PauseS             float64      `json:"pause_s,omitempty"`
+	Flows              int          `json:"flows,omitempty"`
+	OfferedLoadKbps    float64      `json:"offered_load_kbps,omitempty"`
+	PacketBytes        int          `json:"packet_bytes,omitempty"`
+	DurationS          float64      `json:"duration_s,omitempty"`
+	WarmupS            float64      `json:"warmup_s,omitempty"`
+	Seed               int64        `json:"seed,omitempty"`
+	SafetyFactor       float64      `json:"safety_factor,omitempty"`
+	HistoryExpiryS     float64      `json:"history_expiry_s,omitempty"`
+	CtrlBandwidthBps   float64      `json:"ctrl_bandwidth_bps,omitempty"`
+	DisableCtrlChannel bool         `json:"disable_ctrl_channel,omitempty"`
+	DisableThreeWay    bool         `json:"disable_three_way,omitempty"`
+	ShadowingSigmaDB   float64      `json:"shadowing_sigma_db,omitempty"`
+	FlowRateSpreadPct  float64      `json:"flow_rate_spread_pct,omitempty"`
+	RTSThresholdBytes  int          `json:"rts_threshold_bytes,omitempty"`
+	Static             [][2]float64 `json:"static,omitempty"`
+	FlowPairs          [][2]uint16  `json:"flow_pairs,omitempty"`
+}
+
+// Options converts the file form to runnable Options.
+func (fc FileConfig) Options() (Options, error) {
+	scheme, err := mac.ParseScheme(fc.Scheme)
+	if err != nil {
+		return Options{}, err
+	}
+	o := Options{
+		Scheme:             scheme,
+		Nodes:              fc.Nodes,
+		FieldW:             fc.FieldW,
+		FieldH:             fc.FieldH,
+		SpeedMin:           fc.SpeedMin,
+		SpeedMax:           fc.SpeedMax,
+		Pause:              sim.DurationOf(fc.PauseS),
+		Flows:              fc.Flows,
+		OfferedLoadKbps:    fc.OfferedLoadKbps,
+		PacketBytes:        fc.PacketBytes,
+		Duration:           sim.DurationOf(fc.DurationS),
+		Warmup:             sim.DurationOf(fc.WarmupS),
+		Seed:               fc.Seed,
+		SafetyFactor:       fc.SafetyFactor,
+		HistoryExpiry:      sim.DurationOf(fc.HistoryExpiryS),
+		CtrlBandwidthBps:   fc.CtrlBandwidthBps,
+		DisableCtrlChannel: fc.DisableCtrlChannel,
+		DisableThreeWay:    fc.DisableThreeWay,
+		ShadowingSigmaDB:   fc.ShadowingSigmaDB,
+		FlowRateSpreadPct:  fc.FlowRateSpreadPct,
+	}
+	if fc.RTSThresholdBytes > 0 {
+		o.MAC = mac.DefaultConfig()
+		o.MAC.RTSThresholdBytes = fc.RTSThresholdBytes
+	}
+	for _, p := range fc.Static {
+		o.Static = append(o.Static, geom.Point{X: p[0], Y: p[1]})
+	}
+	for _, fp := range fc.FlowPairs {
+		o.FlowPairs = append(o.FlowPairs, [2]packet.NodeID{packet.NodeID(fp[0]), packet.NodeID(fp[1])})
+	}
+	if err := validate(o); err != nil {
+		return Options{}, err
+	}
+	return o, nil
+}
+
+// validate rejects configurations that would only fail deep inside a
+// run.
+func validate(o Options) error {
+	switch {
+	case o.Nodes < 0 || o.Flows < 0:
+		return fmt.Errorf("scenario: negative nodes/flows")
+	case o.OfferedLoadKbps < 0:
+		return fmt.Errorf("scenario: negative offered load")
+	case o.Duration < 0 || o.Warmup < 0:
+		return fmt.Errorf("scenario: negative duration/warmup")
+	case o.Duration > 0 && sim.Time(o.Warmup) >= sim.Time(o.Duration):
+		return fmt.Errorf("scenario: warmup %v >= duration %v", o.Warmup, o.Duration)
+	case o.ShadowingSigmaDB < 0:
+		return fmt.Errorf("scenario: negative shadowing sigma")
+	}
+	for _, fp := range o.FlowPairs {
+		if fp[0] == fp[1] {
+			return fmt.Errorf("scenario: self-flow %v", fp[0])
+		}
+	}
+	return nil
+}
+
+// LoadConfig reads a scenario from a JSON file.
+func LoadConfig(path string) (Options, error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return Options{}, fmt.Errorf("scenario: %w", err)
+	}
+	var fc FileConfig
+	if err := json.Unmarshal(b, &fc); err != nil {
+		return Options{}, fmt.Errorf("scenario: parsing %s: %w", path, err)
+	}
+	return fc.Options()
+}
+
+// ToFileConfig converts Options to the JSON file form (inverse of
+// FileConfig.Options for the representable fields).
+func ToFileConfig(o Options) FileConfig {
+	fc := FileConfig{
+		Scheme:             o.Scheme.String(),
+		Nodes:              o.Nodes,
+		FieldW:             o.FieldW,
+		FieldH:             o.FieldH,
+		SpeedMin:           o.SpeedMin,
+		SpeedMax:           o.SpeedMax,
+		PauseS:             o.Pause.Seconds(),
+		Flows:              o.Flows,
+		OfferedLoadKbps:    o.OfferedLoadKbps,
+		PacketBytes:        o.PacketBytes,
+		DurationS:          o.Duration.Seconds(),
+		WarmupS:            o.Warmup.Seconds(),
+		Seed:               o.Seed,
+		SafetyFactor:       o.SafetyFactor,
+		HistoryExpiryS:     o.HistoryExpiry.Seconds(),
+		CtrlBandwidthBps:   o.CtrlBandwidthBps,
+		DisableCtrlChannel: o.DisableCtrlChannel,
+		DisableThreeWay:    o.DisableThreeWay,
+		ShadowingSigmaDB:   o.ShadowingSigmaDB,
+		FlowRateSpreadPct:  o.FlowRateSpreadPct,
+		RTSThresholdBytes:  o.MAC.RTSThresholdBytes,
+	}
+	for _, p := range o.Static {
+		fc.Static = append(fc.Static, [2]float64{p.X, p.Y})
+	}
+	for _, fp := range o.FlowPairs {
+		fc.FlowPairs = append(fc.FlowPairs, [2]uint16{uint16(fp[0]), uint16(fp[1])})
+	}
+	return fc
+}
+
+// SaveConfig writes the scenario as indented JSON.
+func SaveConfig(path string, o Options) error {
+	b, err := json.MarshalIndent(ToFileConfig(o), "", "  ")
+	if err != nil {
+		return fmt.Errorf("scenario: %w", err)
+	}
+	return os.WriteFile(path, append(b, '\n'), 0o644)
+}

@@ -1,0 +1,131 @@
+package scenario
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/geom"
+	"repro/internal/mac"
+	"repro/internal/packet"
+	"repro/internal/sim"
+)
+
+func TestConfigRoundTrip(t *testing.T) {
+	orig := Options{
+		Scheme:            mac.PCMAC,
+		Nodes:             20,
+		FieldW:            800,
+		FieldH:            600,
+		SpeedMin:          2,
+		SpeedMax:          4,
+		Pause:             3 * sim.Second,
+		Flows:             5,
+		OfferedLoadKbps:   350,
+		PacketBytes:       512,
+		Duration:          60 * sim.Second,
+		Warmup:            5 * sim.Second,
+		Seed:              42,
+		SafetyFactor:      0.7,
+		HistoryExpiry:     3 * sim.Second,
+		CtrlBandwidthBps:  500e3,
+		ShadowingSigmaDB:  4,
+		FlowRateSpreadPct: 10,
+		Static:            []geom.Point{{X: 1, Y: 2}, {X: 3, Y: 4}},
+		FlowPairs:         [][2]packet.NodeID{{0, 1}},
+	}
+	dir := t.TempDir()
+	path := filepath.Join(dir, "scenario.json")
+	if err := SaveConfig(path, orig); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadConfig(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Scheme != orig.Scheme || got.Nodes != orig.Nodes || got.Seed != orig.Seed {
+		t.Fatalf("identity fields changed: %+v", got)
+	}
+	if got.Pause != orig.Pause || got.Duration != orig.Duration || got.HistoryExpiry != orig.HistoryExpiry {
+		t.Fatalf("durations changed: pause=%v dur=%v exp=%v", got.Pause, got.Duration, got.HistoryExpiry)
+	}
+	if len(got.Static) != 2 || got.Static[1] != (geom.Point{X: 3, Y: 4}) {
+		t.Fatalf("static = %v", got.Static)
+	}
+	if len(got.FlowPairs) != 1 || got.FlowPairs[0] != ([2]packet.NodeID{0, 1}) {
+		t.Fatalf("flows = %v", got.FlowPairs)
+	}
+	if got.ShadowingSigmaDB != 4 {
+		t.Fatalf("shadowing = %v", got.ShadowingSigmaDB)
+	}
+}
+
+func TestConfigSchemeNamesRoundTrip(t *testing.T) {
+	for _, s := range mac.Schemes() {
+		fc := ToFileConfig(Options{Scheme: s})
+		got, err := fc.Options()
+		if err != nil {
+			t.Fatalf("%v: %v", s, err)
+		}
+		if got.Scheme != s {
+			t.Fatalf("scheme %v round-tripped to %v", s, got.Scheme)
+		}
+	}
+}
+
+func TestLoadConfigErrors(t *testing.T) {
+	if _, err := LoadConfig("/nonexistent/path.json"); err == nil {
+		t.Error("missing file accepted")
+	}
+	dir := t.TempDir()
+	bad := filepath.Join(dir, "bad.json")
+	os.WriteFile(bad, []byte("{not json"), 0o644)
+	if _, err := LoadConfig(bad); err == nil {
+		t.Error("malformed JSON accepted")
+	}
+	unknown := filepath.Join(dir, "scheme.json")
+	os.WriteFile(unknown, []byte(`{"scheme":"wifi7"}`), 0o644)
+	if _, err := LoadConfig(unknown); err == nil {
+		t.Error("unknown scheme accepted")
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	cases := []FileConfig{
+		{Scheme: "pcmac", Nodes: -1},
+		{Scheme: "pcmac", OfferedLoadKbps: -5},
+		{Scheme: "pcmac", DurationS: 10, WarmupS: 20},
+		{Scheme: "pcmac", ShadowingSigmaDB: -1},
+		{Scheme: "pcmac", FlowPairs: [][2]uint16{{3, 3}}},
+	}
+	for i, fc := range cases {
+		if _, err := fc.Options(); err == nil {
+			t.Errorf("case %d validated: %+v", i, fc)
+		}
+	}
+}
+
+func TestLoadedConfigRuns(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "run.json")
+	os.WriteFile(path, []byte(`{
+		"scheme": "pcmac",
+		"static": [[0,0],[150,0]],
+		"flow_pairs": [[0,1]],
+		"offered_load_kbps": 60,
+		"duration_s": 10,
+		"warmup_s": 1,
+		"seed": 3
+	}`), 0o644)
+	o, err := LoadConfig(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.PDR < 0.9 {
+		t.Fatalf("config-driven run PDR = %.3f", res.PDR)
+	}
+}

@@ -1,0 +1,89 @@
+package scenario
+
+import (
+	"testing"
+
+	"repro/internal/mac"
+)
+
+// TestSpatialReuse reproduces Figure 1's claim: with two short pairs,
+// power control (PCMAC) admits simultaneous transmissions that basic
+// 802.11 serializes, raising aggregate throughput.
+func TestSpatialReuse(t *testing.T) {
+	basic, err := Run(Fig1Options(mac.Basic))
+	if err != nil {
+		t.Fatal(err)
+	}
+	pcmac, err := Run(Fig1Options(mac.PCMAC))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pcmac.ThroughputKbps < basic.ThroughputKbps*1.2 {
+		t.Fatalf("no spatial reuse: pcmac=%.1f kbps vs basic=%.1f kbps",
+			pcmac.ThroughputKbps, basic.ThroughputKbps)
+	}
+	if pcmac.EnergyJ >= basic.EnergyJ {
+		t.Fatalf("power control used more energy: %.2f J vs %.2f J", pcmac.EnergyJ, basic.EnergyJ)
+	}
+}
+
+// TestFig4AsymmetricCollisions reproduces the Figure 4 asymmetric-link
+// scenario: under Scheme 2 the high-power pair's transmissions corrupt
+// the low-power pair's receptions (recovered by retransmissions that
+// waste bandwidth — the paper's consequence (1)); PCMAC's control
+// channel defers the interferer instead.
+func TestFig4AsymmetricCollisions(t *testing.T) {
+	s2, err := Run(Fig4Options(mac.Scheme2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	pc, err := Run(Fig4Options(mac.PCMAC))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s2.MAC.ErrDataForMe < 100 {
+		t.Fatalf("scheme2 shows too little asymmetric-link corruption (%d); scenario miscalibrated", s2.MAC.ErrDataForMe)
+	}
+	if pc.MAC.ErrDataForMe*3 > s2.MAC.ErrDataForMe {
+		t.Fatalf("PCMAC corruption (%d) not well below scheme2's (%d)",
+			pc.MAC.ErrDataForMe, s2.MAC.ErrDataForMe)
+	}
+	if pc.MAC.ToleranceDefer == 0 {
+		t.Fatal("PCMAC never deferred for the announced receiver")
+	}
+	if pc.MAC.Retries*2 > s2.MAC.Retries {
+		t.Fatalf("PCMAC retries (%d) should be far below scheme2's (%d)",
+			pc.MAC.Retries, s2.MAC.Retries)
+	}
+	// The suppressed low-power flow's delay suffers under scheme2
+	// (paper consequence (3): unfairness against the low-power pair).
+	if s2.Flows[0].MeanDelayMs() <= pc.Flows[0].MeanDelayMs() {
+		t.Fatalf("suppressed-flow delay: scheme2=%.2fms should exceed pcmac=%.2fms",
+			s2.Flows[0].MeanDelayMs(), pc.Flows[0].MeanDelayMs())
+	}
+}
+
+// TestScheme1ShrunkZone reproduces Figures 5/6: Scheme 1's low-power
+// DATA is corrupted by nodes that sensed (but could not decode) the
+// maximal-power RTS/CTS, while basic 802.11 keeps those nodes deferred
+// for the whole exchange.
+func TestScheme1ShrunkZone(t *testing.T) {
+	s1, err := Run(Fig6Options(mac.Scheme1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	basic, err := Run(Fig6Options(mac.Basic))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s1.MAC.ErrDataForMe < 50 {
+		t.Fatalf("scheme1 DATA corruption too low (%d); shrunk-zone scenario miscalibrated", s1.MAC.ErrDataForMe)
+	}
+	if basic.MAC.ErrDataForMe*10 > s1.MAC.ErrDataForMe {
+		t.Fatalf("basic corruption (%d) should be negligible next to scheme1's (%d)",
+			basic.MAC.ErrDataForMe, s1.MAC.ErrDataForMe)
+	}
+	if s1.MAC.Retries <= basic.MAC.Retries {
+		t.Fatalf("scheme1 retries (%d) should exceed basic's (%d)", s1.MAC.Retries, basic.MAC.Retries)
+	}
+}

@@ -1,0 +1,362 @@
+// Package scenario builds and runs complete simulations of the paper's
+// evaluation setup: N mobile nodes on a square field, CBR/UDP flows over
+// AODV, one of the four MAC protocols, and the paper's two headline
+// metrics (aggregate throughput and average end-to-end delay).
+package scenario
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/aodv"
+	"repro/internal/ctrl"
+	"repro/internal/geom"
+	"repro/internal/mac"
+	"repro/internal/mobility"
+	"repro/internal/node"
+	"repro/internal/packet"
+	"repro/internal/phys"
+	"repro/internal/power"
+	"repro/internal/sim"
+	"repro/internal/stats"
+	"repro/internal/trace"
+	"repro/internal/traffic"
+)
+
+// Options selects a scenario. Zero fields take the paper's defaults
+// (Section IV): 50 nodes, 1000x1000 m, 3 m/s random waypoint with 3 s
+// pause, 10 CBR pairs of 512-byte packets, AODV routing.
+type Options struct {
+	// Scheme is the MAC protocol under test.
+	Scheme mac.Scheme
+	// Nodes is the terminal count (50).
+	Nodes int
+	// FieldW/FieldH are the field dimensions in metres (1000 x 1000).
+	FieldW, FieldH float64
+	// SpeedMin/SpeedMax bound node speed in m/s (3, 3).
+	SpeedMin, SpeedMax float64
+	// Pause is the waypoint dwell (3 s).
+	Pause sim.Duration
+	// Flows is the number of CBR pairs (10).
+	Flows int
+	// OfferedLoadKbps is the aggregate offered load across all flows
+	// (the paper sweeps 300..1000).
+	OfferedLoadKbps float64
+	// PacketBytes is the CBR payload (512).
+	PacketBytes int
+	// Duration is the simulated time (the paper runs 400 s; benches use
+	// less).
+	Duration sim.Duration
+	// Warmup excludes the route-establishment transient from metrics.
+	Warmup sim.Duration
+	// Seed drives all randomness; same seed, same run.
+	Seed int64
+
+	// MAC/AODV override protocol constants when non-zero.
+	MAC  mac.Config
+	AODV aodv.Config
+	// Levels overrides the power dial.
+	Levels power.Levels
+	// HistoryExpiry (3 s), SafetyFactor (0.7) and CtrlBandwidthBps
+	// (500 kbps) are the PCMAC knobs, exposed for the ablation benches.
+	HistoryExpiry    sim.Duration
+	SafetyFactor     float64
+	CtrlBandwidthBps float64
+	// DisableCtrlChannel and DisableThreeWay ablate PCMAC's two
+	// mechanisms independently.
+	DisableCtrlChannel bool
+	DisableThreeWay    bool
+
+	// Static, when non-empty, pins nodes at fixed positions (overrides
+	// Nodes and mobility) — used by the Figure 1/4/6 topologies.
+	Static []geom.Point
+	// FlowPairs, when non-empty, fixes the CBR endpoints.
+	FlowPairs [][2]packet.NodeID
+	// TrafficStart is when sources begin (default 1 s, jittered).
+	TrafficStart sim.Time
+	// FlowRateSpreadPct spreads per-flow rates by up to ±pct/2 percent
+	// around the nominal rate so flows' phases precess instead of
+	// locking. The controlled static topologies (Figures 1/4/6) need
+	// this; identical deterministic CBR intervals would otherwise
+	// freeze whatever overlap pattern the start jitter produced.
+	FlowRateSpreadPct float64
+	// Trace receives every node's MAC protocol events; nil disables
+	// tracing.
+	Trace trace.Sink
+	// TimelineBucket, when positive, records a per-bucket timeline of
+	// sent/delivered traffic in Result.Timeline — how the run's
+	// throughput and delay evolve over simulated time.
+	TimelineBucket sim.Duration
+	// ShadowingSigmaDB overlays log-normal fading of the given dB
+	// deviation on the two-ray model (zero keeps the paper's
+	// deterministic channel). Used to probe the protocols' sensitivity
+	// to fading — the fluctuation the paper's 0.7 safety coefficient
+	// exists for.
+	ShadowingSigmaDB float64
+}
+
+// withDefaults fills zero fields with the paper's parameters.
+func (o Options) withDefaults() Options {
+	if o.Nodes == 0 {
+		o.Nodes = 50
+	}
+	if len(o.Static) > 0 {
+		o.Nodes = len(o.Static)
+	}
+	if o.FieldW == 0 {
+		o.FieldW = 1000
+	}
+	if o.FieldH == 0 {
+		o.FieldH = 1000
+	}
+	if o.SpeedMin == 0 {
+		o.SpeedMin = 3
+	}
+	if o.SpeedMax == 0 {
+		o.SpeedMax = o.SpeedMin
+	}
+	if o.Pause == 0 {
+		o.Pause = 3 * sim.Second
+	}
+	if o.Flows == 0 {
+		o.Flows = 10
+	}
+	if len(o.FlowPairs) > 0 {
+		o.Flows = len(o.FlowPairs)
+	}
+	if o.OfferedLoadKbps == 0 {
+		o.OfferedLoadKbps = 600
+	}
+	if o.PacketBytes == 0 {
+		o.PacketBytes = 512
+	}
+	if o.Duration == 0 {
+		o.Duration = 400 * sim.Second
+	}
+	if o.Warmup == 0 {
+		o.Warmup = 5 * sim.Second
+	}
+	if o.MAC.SlotTime == 0 {
+		o.MAC = mac.DefaultConfig()
+	}
+	if o.AODV.ActiveRouteTimeout == 0 {
+		o.AODV = aodv.DefaultConfig()
+	}
+	if o.Levels == nil {
+		o.Levels = power.DefaultLevels()
+	}
+	if o.HistoryExpiry == 0 {
+		o.HistoryExpiry = 3 * sim.Second
+	}
+	if o.SafetyFactor == 0 {
+		o.SafetyFactor = 0.7
+	}
+	if o.CtrlBandwidthBps == 0 {
+		o.CtrlBandwidthBps = 500e3
+	}
+	if o.TrafficStart == 0 {
+		o.TrafficStart = sim.Time(sim.Second)
+	}
+	return o
+}
+
+// Result is one run's outcome.
+type Result struct {
+	// Opts echoes the (defaulted) options.
+	Opts Options
+	// The paper's two metrics.
+	ThroughputKbps float64
+	AvgDelayMs     float64
+	// Secondary metrics.
+	PDR          float64
+	JainFairness float64
+	// Flows carries per-flow breakdowns.
+	Flows []stats.FlowStats
+	// MAC, Ctrl and Routing aggregate per-node counters across the
+	// network.
+	MAC     mac.Stats
+	Ctrl    ctrl.Stats
+	Routing aodv.Stats
+	// EnergyJ is total radiated energy on the data channel;
+	// CtrlEnergyJ on the control channel.
+	EnergyJ     float64
+	CtrlEnergyJ float64
+	// Events is the number of simulator events executed.
+	Events uint64
+	// Timeline is the per-bucket evolution (nil unless
+	// Options.TimelineBucket was set).
+	Timeline *stats.Timeline
+}
+
+// EnergyPerDeliveredKB returns radiated joules per delivered kilobyte of
+// payload, a power-efficiency view of the same run.
+func (r Result) EnergyPerDeliveredKB() float64 {
+	var bytes float64
+	for _, f := range r.Flows {
+		bytes += float64(f.Bytes)
+	}
+	if bytes == 0 {
+		return 0
+	}
+	return (r.EnergyJ + r.CtrlEnergyJ) / (bytes / 1024)
+}
+
+// Network is a fully built scenario, exposed so examples and tests can
+// poke at individual nodes before/after running.
+type Network struct {
+	Opts      Options
+	Sched     *sim.Scheduler
+	DataCh    *phys.Channel
+	CtrlCh    *phys.Channel // nil unless PCMAC with control channel
+	Nodes     []*node.Node
+	Sources   []*traffic.CBR
+	Collector *stats.Collector
+	Timeline  *stats.Timeline // nil unless Options.TimelineBucket set
+}
+
+// Build constructs the network without running it.
+func Build(o Options) (*Network, error) {
+	o = o.withDefaults()
+	sched := sim.NewScheduler()
+	par := phys.DefaultParams()
+	var model phys.Propagation = phys.NewTwoRayGround(par)
+	var ctrlModel phys.Propagation = model
+	if o.ShadowingSigmaDB > 0 {
+		// Independent fading processes per channel, both seeded from
+		// the scenario seed for reproducibility, overlaid on the same
+		// two-ray geometry.
+		model = phys.NewShadowing(model, o.ShadowingSigmaDB, o.Seed^0x5eed)
+		ctrlModel = phys.NewShadowing(ctrlModel, o.ShadowingSigmaDB, o.Seed^0xc0de)
+	}
+	dataCh := phys.NewChannel(sched, model, par)
+	var ctrlCh *phys.Channel
+	if o.Scheme == mac.PCMAC && !o.DisableCtrlChannel {
+		ctrlCh = phys.NewChannel(sched, ctrlModel, par)
+	}
+
+	master := rand.New(rand.NewSource(o.Seed))
+	var uid uint64
+	nextUID := func() uint64 { uid++; return uid }
+
+	field := geom.NewField(o.FieldW, o.FieldH)
+	nw := &Network{Opts: o, Sched: sched, DataCh: dataCh, CtrlCh: ctrlCh}
+
+	ncfg := node.Config{
+		Scheme:          o.Scheme,
+		MAC:             o.MAC,
+		AODV:            o.AODV,
+		Levels:          o.Levels,
+		HistoryExpiry:   o.HistoryExpiry,
+		SafetyFactor:    o.SafetyFactor,
+		CtrlBitRateBps:  o.CtrlBandwidthBps,
+		DisableThreeWay: o.DisableThreeWay,
+		Tracer:          o.Trace,
+	}
+	if o.DisableCtrlChannel {
+		ncfg.CtrlBitRateBps = 0
+	}
+
+	collector := stats.NewCollector(sim.Time(o.Warmup))
+	nw.Collector = collector
+	if o.TimelineBucket > 0 {
+		nw.Timeline = stats.NewTimeline(o.TimelineBucket)
+	}
+
+	for i := 0; i < o.Nodes; i++ {
+		var mob mobility.Model
+		if len(o.Static) > 0 {
+			mob = mobility.Static(o.Static[i])
+		} else {
+			mob = mobility.NewWaypoint(field, o.SpeedMin, o.SpeedMax, o.Pause, rand.New(rand.NewSource(master.Int63())))
+		}
+		n, err := node.New(packet.NodeID(i), sched, dataCh, ctrlCh, mob, ncfg, rand.New(rand.NewSource(master.Int63())))
+		if err != nil {
+			return nil, fmt.Errorf("scenario: %w", err)
+		}
+		n.Router.NextUID = nextUID
+		n.Router.Deliver = func(np *packet.NetPacket, from packet.NodeID) {
+			if np.Proto == packet.ProtoUDP {
+				collector.PacketDelivered(np, sched.Now())
+				if nw.Timeline != nil {
+					nw.Timeline.PacketDelivered(np, sched.Now())
+				}
+			}
+		}
+		nw.Nodes = append(nw.Nodes, n)
+	}
+
+	// Flows.
+	pairs := o.FlowPairs
+	if len(pairs) == 0 {
+		pairs = traffic.PickPairs(o.Nodes, o.Flows, master)
+	}
+	perFlowBps := o.OfferedLoadKbps * 1e3 / float64(len(pairs))
+	for i, p := range pairs {
+		rate := perFlowBps
+		if o.FlowRateSpreadPct > 0 && len(pairs) > 1 {
+			frac := float64(i)/float64(len(pairs)-1) - 0.5
+			rate *= 1 + o.FlowRateSpreadPct/100*frac
+		}
+		interval := traffic.IntervalFor(o.PacketBytes, rate)
+		src := nw.Nodes[p[0]]
+		cbr := traffic.NewCBR(sched, src.Router, uint32(i+1), p[0], p[1], o.PacketBytes, interval)
+		cbr.NextUID = nextUID
+		cbr.OnGenerate = func(np *packet.NetPacket) {
+			collector.PacketSent(np)
+			if nw.Timeline != nil {
+				nw.Timeline.PacketSent(np)
+			}
+		}
+		jitter := sim.Duration(master.Int63n(int64(interval)))
+		cbr.Start(o.TrafficStart.Add(jitter), sim.Time(o.Duration))
+		nw.Sources = append(nw.Sources, cbr)
+	}
+	return nw, nil
+}
+
+// Run executes the network to its configured duration and returns the
+// metrics.
+func (nw *Network) Run() Result {
+	o := nw.Opts
+	nw.Sched.Run(sim.Time(o.Duration))
+	nw.Collector.End = sim.Time(o.Duration)
+
+	res := Result{
+		Opts:           o,
+		ThroughputKbps: nw.Collector.ThroughputKbps(),
+		AvgDelayMs:     nw.Collector.MeanDelayMs(),
+		PDR:            nw.Collector.PDR(),
+		JainFairness:   nw.Collector.JainFairness(),
+		Flows:          nw.Collector.Flows(),
+		Events:         nw.Sched.Executed(),
+		Timeline:       nw.Timeline,
+	}
+	for _, n := range nw.Nodes {
+		res.MAC.Add(n.MAC.Stats)
+		res.Routing.Add(n.Router.Stats)
+		res.EnergyJ += n.MAC.Radio().EnergyTxJ
+		if n.Ctrl != nil {
+			s := n.Ctrl.Stats
+			res.Ctrl.Sent += s.Sent
+			res.Ctrl.Skipped += s.Skipped
+			res.Ctrl.Received += s.Received
+			res.Ctrl.Corrupted += s.Corrupted
+			res.Ctrl.Malformed += s.Malformed
+		}
+	}
+	if nw.CtrlCh != nil {
+		for _, r := range nw.CtrlCh.Radios() {
+			res.CtrlEnergyJ += r.EnergyTxJ
+		}
+	}
+	return res
+}
+
+// Run builds and runs a scenario in one call.
+func Run(o Options) (Result, error) {
+	nw, err := Build(o)
+	if err != nil {
+		return Result{}, err
+	}
+	return nw.Run(), nil
+}

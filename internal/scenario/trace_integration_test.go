@@ -1,0 +1,61 @@
+package scenario
+
+import (
+	"testing"
+
+	"repro/internal/mac"
+	"repro/internal/trace"
+)
+
+// TestTraceIntegration runs a small PCMAC scenario with a buffer sink
+// and checks the protocol events a run must produce appear in the
+// trace.
+func TestTraceIntegration(t *testing.T) {
+	var buf trace.Buffer
+	o := twoNodeOpts(mac.PCMAC)
+	o.Trace = &buf
+	if _, err := Run(o); err != nil {
+		t.Fatal(err)
+	}
+	if buf.Len() == 0 {
+		t.Fatal("no trace records")
+	}
+	sends := buf.OfOp(trace.OpSend)
+	recvs := buf.OfOp(trace.OpRecv)
+	anns := buf.OfOp(trace.OpAnnounce)
+	if len(sends) == 0 || len(recvs) == 0 {
+		t.Fatalf("sends=%d recvs=%d", len(sends), len(recvs))
+	}
+	if len(anns) == 0 {
+		t.Fatal("PCMAC run produced no tolerance announcements in the trace")
+	}
+	// Record times are nondecreasing within the buffer.
+	for i := 1; i < buf.Len(); i++ {
+		if buf.Records[i].At < buf.Records[i-1].At {
+			t.Fatal("trace records out of time order")
+		}
+	}
+}
+
+// TestShadowingScenarioRuns exercises the fading extension end to end:
+// the run must still deliver most traffic, just less cleanly than the
+// deterministic channel.
+func TestShadowingScenarioRuns(t *testing.T) {
+	o := twoNodeOpts(mac.PCMAC)
+	o.ShadowingSigmaDB = 4
+	res, err := Run(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.PDR < 0.5 {
+		t.Fatalf("PDR under 4 dB shadowing = %.3f, want > 0.5", res.PDR)
+	}
+	// Fading must actually change the outcome versus two-ray.
+	base, err := Run(twoNodeOpts(mac.PCMAC))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Events == base.Events && res.ThroughputKbps == base.ThroughputKbps {
+		t.Fatal("shadowing run identical to two-ray run")
+	}
+}

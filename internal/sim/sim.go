@@ -1,0 +1,275 @@
+// Package sim provides the discrete-event simulation kernel that every
+// other subsystem in this repository runs on. It plays the role ns-2's
+// event scheduler played for the paper: a single logical clock, a
+// time-ordered pending-event set, and cancellable timers.
+//
+// The kernel is deliberately single-threaded: wireless MAC protocols are
+// full of same-instant orderings (a CTS scheduled exactly SIFS after an
+// RTS, a NAV expiring exactly when a backoff resumes) and reproducibility
+// of those orderings matters more than parallel speed at the 50-node
+// scale of the paper. Determinism is guaranteed by breaking time ties
+// with a monotonically increasing sequence number, so two runs with the
+// same seed execute the same event trace.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+)
+
+// Time is an absolute simulation time in nanoseconds since the start of
+// the run. int64 nanoseconds keep every 802.11 interval (microsecond
+// granularity) exact and make event ordering total, which floating-point
+// seconds (as in ns-2) do not.
+type Time int64
+
+// Duration is a span of simulation time in nanoseconds.
+type Duration int64
+
+// Common durations, mirroring time.Duration's constants so call sites
+// read naturally (sim.Microsecond etc.) without importing package time.
+const (
+	Nanosecond  Duration = 1
+	Microsecond          = 1000 * Nanosecond
+	Millisecond          = 1000 * Microsecond
+	Second               = 1000 * Millisecond
+)
+
+// MaxTime is the largest representable simulation instant.
+const MaxTime = Time(math.MaxInt64)
+
+// Seconds converts a duration to floating-point seconds (for reporting).
+func (d Duration) Seconds() float64 { return float64(d) / float64(Second) }
+
+// Milliseconds converts a duration to floating-point milliseconds.
+func (d Duration) Milliseconds() float64 { return float64(d) / float64(Millisecond) }
+
+// Seconds converts an absolute time to floating-point seconds.
+func (t Time) Seconds() float64 { return float64(t) / float64(Second) }
+
+// Add returns the instant d after t.
+func (t Time) Add(d Duration) Time { return t + Time(d) }
+
+// Sub returns the duration from u to t.
+func (t Time) Sub(u Time) Duration { return Duration(t - u) }
+
+func (t Time) String() string { return fmt.Sprintf("%.6fs", t.Seconds()) }
+
+// DurationOf converts floating-point seconds into a Duration, rounding to
+// the nearest nanosecond. It is the bridge for rate computations
+// (bits/bandwidth) that are naturally floating point.
+func DurationOf(seconds float64) Duration {
+	return Duration(math.Round(seconds * float64(Second)))
+}
+
+// Event is a pending callback in the scheduler. The zero Event is
+// meaningless; events are created by Scheduler.Schedule/At.
+type Event struct {
+	at    Time
+	seq   uint64
+	index int // heap index, -1 when not queued
+	fn    func()
+}
+
+// At reports when the event will fire.
+func (e *Event) At() Time { return e.at }
+
+// Pending reports whether the event is still queued (not yet fired and
+// not cancelled).
+func (e *Event) Pending() bool { return e != nil && e.index >= 0 }
+
+type eventHeap []*Event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index = i
+	h[j].index = j
+}
+func (h *eventHeap) Push(x any) {
+	e := x.(*Event)
+	e.index = len(*h)
+	*h = append(*h, e)
+}
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	e.index = -1
+	*h = old[:n-1]
+	return e
+}
+
+// Scheduler is the discrete-event executive. It is not safe for
+// concurrent use; the whole simulation runs on one goroutine.
+type Scheduler struct {
+	now     Time
+	seq     uint64
+	pending eventHeap
+	stopped bool
+
+	// Executed counts events that have fired, for diagnostics and for
+	// runaway detection in tests.
+	executed uint64
+}
+
+// NewScheduler returns a scheduler with the clock at zero.
+func NewScheduler() *Scheduler { return &Scheduler{} }
+
+// Now returns the current simulation time.
+func (s *Scheduler) Now() Time { return s.now }
+
+// Executed returns how many events have fired so far.
+func (s *Scheduler) Executed() uint64 { return s.executed }
+
+// Pending returns the number of events currently queued.
+func (s *Scheduler) Pending() int { return len(s.pending) }
+
+// Schedule queues fn to run d after the current time and returns the
+// event handle, which may be cancelled. Negative d panics: the kernel
+// never travels backwards.
+func (s *Scheduler) Schedule(d Duration, fn func()) *Event {
+	if d < 0 {
+		panic(fmt.Sprintf("sim: negative delay %d", d))
+	}
+	return s.At(s.now.Add(d), fn)
+}
+
+// At queues fn to run at absolute time t (which must not be in the past)
+// and returns the event handle.
+func (s *Scheduler) At(t Time, fn func()) *Event {
+	if t < s.now {
+		panic(fmt.Sprintf("sim: scheduling into the past: now=%v at=%v", s.now, t))
+	}
+	if fn == nil {
+		panic("sim: nil event function")
+	}
+	e := &Event{at: t, seq: s.seq, fn: fn, index: -1}
+	s.seq++
+	heap.Push(&s.pending, e)
+	return e
+}
+
+// Cancel removes a pending event. Cancelling a nil, fired, or already
+// cancelled event is a no-op, so callers can cancel unconditionally.
+func (s *Scheduler) Cancel(e *Event) {
+	if e == nil || e.index < 0 {
+		return
+	}
+	heap.Remove(&s.pending, e.index)
+}
+
+// Step fires the single earliest pending event. It reports false when the
+// queue is empty.
+func (s *Scheduler) Step() bool {
+	if len(s.pending) == 0 {
+		return false
+	}
+	e := heap.Pop(&s.pending).(*Event)
+	s.now = e.at
+	s.executed++
+	e.fn()
+	return true
+}
+
+// Run executes events in time order until the queue drains, until an
+// event fires at a time strictly after horizon, or until Stop is called.
+// The clock is left at min(horizon, last event time); events beyond the
+// horizon stay queued.
+func (s *Scheduler) Run(horizon Time) {
+	s.stopped = false
+	for len(s.pending) > 0 && !s.stopped {
+		if s.pending[0].at > horizon {
+			break
+		}
+		s.Step()
+	}
+	if s.now < horizon && !s.stopped {
+		s.now = horizon
+	}
+}
+
+// RunAll executes events until the queue is empty or Stop is called.
+func (s *Scheduler) RunAll() {
+	s.stopped = false
+	for len(s.pending) > 0 && !s.stopped {
+		s.Step()
+	}
+}
+
+// Stop makes the current Run/RunAll return after the executing event
+// completes. Pending events remain queued.
+func (s *Scheduler) Stop() { s.stopped = true }
+
+// Timer is a restartable single-shot timer bound to a scheduler, the
+// workhorse of MAC state machines (CTS timeouts, NAV expiry, backoff
+// slots). Unlike raw events a Timer can be reused: Start after Stop or
+// after expiry re-arms it.
+type Timer struct {
+	s  *Scheduler
+	ev *Event
+	fn func()
+}
+
+// NewTimer returns a stopped timer that runs fn on expiry.
+func NewTimer(s *Scheduler, fn func()) *Timer {
+	if fn == nil {
+		panic("sim: nil timer function")
+	}
+	return &Timer{s: s, fn: fn}
+}
+
+// Start arms the timer to fire d from now, replacing any previous
+// schedule.
+func (t *Timer) Start(d Duration) {
+	t.Stop()
+	ev := t.s.Schedule(d, func() {
+		t.ev = nil
+		t.fn()
+	})
+	t.ev = ev
+}
+
+// StartAt arms the timer to fire at absolute time at, replacing any
+// previous schedule.
+func (t *Timer) StartAt(at Time) {
+	t.Stop()
+	ev := t.s.At(at, func() {
+		t.ev = nil
+		t.fn()
+	})
+	t.ev = ev
+}
+
+// Stop disarms the timer. Stopping an idle timer is a no-op.
+func (t *Timer) Stop() {
+	if t.ev != nil {
+		t.s.Cancel(t.ev)
+		t.ev = nil
+	}
+}
+
+// Pending reports whether the timer is armed.
+func (t *Timer) Pending() bool { return t.ev != nil && t.ev.Pending() }
+
+// Deadline returns the expiry instant of an armed timer; calling it on an
+// idle timer panics (it has no deadline).
+func (t *Timer) Deadline() Time {
+	if !t.Pending() {
+		panic("sim: Deadline on idle timer")
+	}
+	return t.ev.At()
+}
+
+// Remaining returns how long until an armed timer fires.
+func (t *Timer) Remaining() Duration {
+	return t.Deadline().Sub(t.s.Now())
+}

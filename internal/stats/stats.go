@@ -1,0 +1,230 @@
+// Package stats computes the paper's evaluation metrics: aggregate
+// network throughput (kbps of data payload arriving at destinations)
+// and average end-to-end delay (ms), plus packet delivery ratio, Jain
+// fairness across flows, and energy bookkeeping.
+package stats
+
+import (
+	"math"
+	"sort"
+
+	"repro/internal/packet"
+	"repro/internal/sim"
+)
+
+// FlowStats aggregates one CBR flow.
+type FlowStats struct {
+	FlowID    uint32
+	Sent      uint64
+	Delivered uint64
+	Bytes     uint64
+	DelaySum  sim.Duration
+}
+
+// PDR returns the flow's packet delivery ratio.
+func (f FlowStats) PDR() float64 {
+	if f.Sent == 0 {
+		return 0
+	}
+	return float64(f.Delivered) / float64(f.Sent)
+}
+
+// MeanDelayMs returns the flow's mean end-to-end delay in milliseconds.
+func (f FlowStats) MeanDelayMs() float64 {
+	if f.Delivered == 0 {
+		return 0
+	}
+	return f.DelaySum.Milliseconds() / float64(f.Delivered)
+}
+
+// Collector accumulates end-to-end metrics over a measurement window.
+// Packets created before Warmup are counted separately and excluded
+// from throughput/delay, matching the usual practice of discarding the
+// route-establishment transient.
+type Collector struct {
+	// Warmup is the measurement window start.
+	Warmup sim.Time
+	// End is the measurement window end (set before reading metrics).
+	End sim.Time
+
+	flows map[uint32]*FlowStats
+
+	// WarmupSent/WarmupDelivered count pre-window traffic.
+	WarmupSent, WarmupDelivered uint64
+
+	// Duplicates counts deliveries of a (flow, seq) already seen.
+	Duplicates uint64
+
+	seen map[flowSeq]bool
+}
+
+type flowSeq struct {
+	flow uint32
+	seq  uint32
+}
+
+// NewCollector creates a collector with the given warmup boundary.
+func NewCollector(warmup sim.Time) *Collector {
+	return &Collector{
+		Warmup: warmup,
+		flows:  make(map[uint32]*FlowStats),
+		seen:   make(map[flowSeq]bool),
+	}
+}
+
+func (c *Collector) flow(id uint32) *FlowStats {
+	f, ok := c.flows[id]
+	if !ok {
+		f = &FlowStats{FlowID: id}
+		c.flows[id] = f
+	}
+	return f
+}
+
+// PacketSent records an application-layer injection.
+func (c *Collector) PacketSent(np *packet.NetPacket) {
+	if np.CreatedAt < c.Warmup {
+		c.WarmupSent++
+		return
+	}
+	c.flow(np.FlowID).Sent++
+}
+
+// PacketDelivered records an end-to-end delivery at time now.
+func (c *Collector) PacketDelivered(np *packet.NetPacket, now sim.Time) {
+	if np.CreatedAt < c.Warmup {
+		c.WarmupDelivered++
+		return
+	}
+	key := flowSeq{np.FlowID, np.Seq}
+	if c.seen[key] {
+		c.Duplicates++
+		return
+	}
+	c.seen[key] = true
+	f := c.flow(np.FlowID)
+	f.Delivered++
+	f.Bytes += uint64(np.Bytes)
+	f.DelaySum += now.Sub(np.CreatedAt)
+}
+
+// Flows returns per-flow stats sorted by flow ID.
+func (c *Collector) Flows() []FlowStats {
+	out := make([]FlowStats, 0, len(c.flows))
+	for _, f := range c.flows {
+		out = append(out, *f)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].FlowID < out[j].FlowID })
+	return out
+}
+
+// TotalSent returns in-window injected packets.
+func (c *Collector) TotalSent() uint64 {
+	var n uint64
+	for _, f := range c.flows {
+		n += f.Sent
+	}
+	return n
+}
+
+// TotalDelivered returns in-window end-to-end deliveries.
+func (c *Collector) TotalDelivered() uint64 {
+	var n uint64
+	for _, f := range c.flows {
+		n += f.Delivered
+	}
+	return n
+}
+
+// ThroughputKbps returns the paper's aggregate network throughput:
+// delivered payload bits per second of measurement window, in kbps.
+func (c *Collector) ThroughputKbps() float64 {
+	window := c.End.Sub(c.Warmup).Seconds()
+	if window <= 0 {
+		return 0
+	}
+	var bits float64
+	for _, f := range c.flows {
+		bits += float64(f.Bytes) * 8
+	}
+	return bits / window / 1e3
+}
+
+// MeanDelayMs returns the paper's average end-to-end delay across all
+// delivered packets, in milliseconds.
+func (c *Collector) MeanDelayMs() float64 {
+	var sum sim.Duration
+	var n uint64
+	for _, f := range c.flows {
+		sum += f.DelaySum
+		n += f.Delivered
+	}
+	if n == 0 {
+		return 0
+	}
+	return sum.Milliseconds() / float64(n)
+}
+
+// PDR returns the aggregate in-window packet delivery ratio.
+func (c *Collector) PDR() float64 {
+	sent := c.TotalSent()
+	if sent == 0 {
+		return 0
+	}
+	return float64(c.TotalDelivered()) / float64(sent)
+}
+
+// JainFairness returns Jain's fairness index over per-flow delivered
+// byte counts: (sum x)^2 / (n * sum x^2), 1.0 = perfectly fair.
+func (c *Collector) JainFairness() float64 {
+	var sum, sumSq float64
+	n := 0
+	for _, f := range c.flows {
+		x := float64(f.Bytes)
+		sum += x
+		sumSq += x * x
+		n++
+	}
+	if n == 0 || sumSq == 0 {
+		return 0
+	}
+	return sum * sum / (float64(n) * sumSq)
+}
+
+// Series is a simple numeric aggregation helper for multi-seed runs.
+type Series struct {
+	vals []float64
+}
+
+// Append adds a value.
+func (s *Series) Append(v float64) { s.vals = append(s.vals, v) }
+
+// Mean returns the arithmetic mean (0 for an empty series).
+func (s *Series) Mean() float64 {
+	if len(s.vals) == 0 {
+		return 0
+	}
+	var t float64
+	for _, v := range s.vals {
+		t += v
+	}
+	return t / float64(len(s.vals))
+}
+
+// StdDev returns the sample standard deviation (0 for n < 2).
+func (s *Series) StdDev() float64 {
+	n := len(s.vals)
+	if n < 2 {
+		return 0
+	}
+	m := s.Mean()
+	var ss float64
+	for _, v := range s.vals {
+		d := v - m
+		ss += d * d
+	}
+	return math.Sqrt(ss / float64(n-1))
+}
+
+// N returns the sample count.
+func (s *Series) N() int { return len(s.vals) }

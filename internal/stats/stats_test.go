@@ -1,0 +1,264 @@
+package stats
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/packet"
+	"repro/internal/sim"
+)
+
+func pkt(flow, seq uint32, created sim.Time) *packet.NetPacket {
+	return &packet.NetPacket{
+		Proto: packet.ProtoUDP, FlowID: flow, Seq: seq,
+		Bytes: 512, CreatedAt: created,
+	}
+}
+
+func TestCollectorBasics(t *testing.T) {
+	c := NewCollector(sim.Time(sim.Second))
+	p := pkt(1, 1, sim.Time(2*sim.Second))
+	c.PacketSent(p)
+	c.PacketDelivered(p, sim.Time(2*sim.Second+100*sim.Millisecond))
+	c.End = sim.Time(11 * sim.Second)
+
+	if c.TotalSent() != 1 || c.TotalDelivered() != 1 {
+		t.Fatalf("sent/delivered = %d/%d", c.TotalSent(), c.TotalDelivered())
+	}
+	// 512*8 bits over a 10 s window = 0.4096 kbps.
+	if got := c.ThroughputKbps(); math.Abs(got-0.4096) > 1e-9 {
+		t.Fatalf("throughput = %v", got)
+	}
+	if got := c.MeanDelayMs(); math.Abs(got-100) > 1e-9 {
+		t.Fatalf("delay = %v ms, want 100", got)
+	}
+	if c.PDR() != 1.0 {
+		t.Fatalf("PDR = %v", c.PDR())
+	}
+}
+
+func TestCollectorWarmupExcluded(t *testing.T) {
+	c := NewCollector(sim.Time(5 * sim.Second))
+	early := pkt(1, 1, sim.Time(sim.Second))
+	c.PacketSent(early)
+	c.PacketDelivered(early, sim.Time(2*sim.Second))
+	if c.TotalSent() != 0 || c.TotalDelivered() != 0 {
+		t.Fatal("warmup traffic counted in-window")
+	}
+	if c.WarmupSent != 1 || c.WarmupDelivered != 1 {
+		t.Fatal("warmup traffic not tracked separately")
+	}
+}
+
+func TestCollectorDuplicateDelivery(t *testing.T) {
+	c := NewCollector(0)
+	p := pkt(1, 7, sim.Time(sim.Second))
+	c.PacketSent(p)
+	c.PacketDelivered(p, sim.Time(2*sim.Second))
+	c.PacketDelivered(p, sim.Time(3*sim.Second))
+	if c.TotalDelivered() != 1 {
+		t.Fatalf("delivered = %d, want 1", c.TotalDelivered())
+	}
+	if c.Duplicates != 1 {
+		t.Fatalf("Duplicates = %d", c.Duplicates)
+	}
+}
+
+func TestPerFlowStats(t *testing.T) {
+	c := NewCollector(0)
+	for seq := uint32(1); seq <= 4; seq++ {
+		p := pkt(1, seq, sim.Time(sim.Second))
+		c.PacketSent(p)
+		if seq <= 2 {
+			c.PacketDelivered(p, sim.Time(sim.Second).Add(sim.Duration(seq)*sim.Millisecond))
+		}
+	}
+	p2 := pkt(2, 1, sim.Time(sim.Second))
+	c.PacketSent(p2)
+	c.PacketDelivered(p2, sim.Time(2*sim.Second))
+
+	flows := c.Flows()
+	if len(flows) != 2 {
+		t.Fatalf("flows = %d", len(flows))
+	}
+	f1 := flows[0]
+	if f1.FlowID != 1 || f1.Sent != 4 || f1.Delivered != 2 {
+		t.Fatalf("flow1 = %+v", f1)
+	}
+	if f1.PDR() != 0.5 {
+		t.Fatalf("flow1 PDR = %v", f1.PDR())
+	}
+	if got := f1.MeanDelayMs(); math.Abs(got-1.5) > 1e-9 {
+		t.Fatalf("flow1 delay = %v, want 1.5", got)
+	}
+}
+
+func TestJainFairness(t *testing.T) {
+	c := NewCollector(0)
+	// Two flows with equal delivered bytes: index 1.0.
+	for _, flow := range []uint32{1, 2} {
+		p := pkt(flow, 1, sim.Time(sim.Second))
+		c.PacketSent(p)
+		c.PacketDelivered(p, sim.Time(2*sim.Second))
+	}
+	if got := c.JainFairness(); math.Abs(got-1.0) > 1e-9 {
+		t.Fatalf("fairness = %v, want 1", got)
+	}
+	// A third flow with zero deliveries drops the index to 2/3.
+	c.PacketSent(pkt(3, 1, sim.Time(sim.Second)))
+	if got := c.JainFairness(); math.Abs(got-2.0/3.0) > 1e-9 {
+		t.Fatalf("fairness = %v, want 2/3", got)
+	}
+}
+
+func TestEmptyCollector(t *testing.T) {
+	c := NewCollector(0)
+	c.End = sim.Time(sim.Second)
+	if c.ThroughputKbps() != 0 || c.MeanDelayMs() != 0 || c.PDR() != 0 || c.JainFairness() != 0 {
+		t.Fatal("empty collector returned non-zero metrics")
+	}
+	var f FlowStats
+	if f.PDR() != 0 || f.MeanDelayMs() != 0 {
+		t.Fatal("zero FlowStats non-zero metrics")
+	}
+}
+
+func TestZeroWindow(t *testing.T) {
+	c := NewCollector(sim.Time(5 * sim.Second))
+	c.End = sim.Time(5 * sim.Second)
+	if c.ThroughputKbps() != 0 {
+		t.Fatal("zero window throughput should be 0")
+	}
+}
+
+func TestSeries(t *testing.T) {
+	var s Series
+	if s.Mean() != 0 || s.StdDev() != 0 || s.N() != 0 {
+		t.Fatal("empty series not zero")
+	}
+	for _, v := range []float64{2, 4, 4, 4, 5, 5, 7, 9} {
+		s.Append(v)
+	}
+	if s.Mean() != 5 {
+		t.Fatalf("mean = %v", s.Mean())
+	}
+	// Sample stddev of this classic set is ~2.138.
+	if math.Abs(s.StdDev()-2.13809) > 1e-4 {
+		t.Fatalf("stddev = %v", s.StdDev())
+	}
+	if s.N() != 8 {
+		t.Fatalf("N = %d", s.N())
+	}
+	var one Series
+	one.Append(3)
+	if one.StdDev() != 0 {
+		t.Fatal("single-sample stddev should be 0")
+	}
+}
+
+func TestPropertyThroughputScalesWithDeliveries(t *testing.T) {
+	f := func(n uint8) bool {
+		c := NewCollector(0)
+		for i := 0; i < int(n); i++ {
+			p := pkt(1, uint32(i+1), sim.Time(sim.Second))
+			c.PacketSent(p)
+			c.PacketDelivered(p, sim.Time(2*sim.Second))
+		}
+		c.End = sim.Time(11 * sim.Second)
+		want := float64(n) * 512 * 8 / 11 / 1e3
+		return math.Abs(c.ThroughputKbps()-want) < 1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropertyPDRBounds(t *testing.T) {
+	f := func(sent, lost uint8) bool {
+		c := NewCollector(0)
+		total := int(sent%50) + 1
+		fail := int(lost) % total
+		for i := 0; i < total; i++ {
+			p := pkt(1, uint32(i+1), sim.Time(sim.Second))
+			c.PacketSent(p)
+			if i >= fail {
+				c.PacketDelivered(p, sim.Time(2*sim.Second))
+			}
+		}
+		pdr := c.PDR()
+		return pdr >= 0 && pdr <= 1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTimelineBucketing(t *testing.T) {
+	tl := NewTimeline(10 * sim.Second)
+	p1 := pkt(1, 1, sim.Time(2*sim.Second))
+	tl.PacketSent(p1)
+	tl.PacketDelivered(p1, sim.Time(3*sim.Second))
+	p2 := pkt(1, 2, sim.Time(12*sim.Second))
+	tl.PacketSent(p2)
+	tl.PacketDelivered(p2, sim.Time(25*sim.Second))
+	pts := tl.Points()
+	if len(pts) != 3 {
+		t.Fatalf("buckets = %d, want 3", len(pts))
+	}
+	if pts[0].Sent != 1 || pts[0].Delivered != 1 {
+		t.Fatalf("bucket 0 = %+v", pts[0])
+	}
+	if pts[1].Sent != 1 || pts[1].Delivered != 0 {
+		t.Fatalf("bucket 1 = %+v", pts[1])
+	}
+	// p2 delivered at 25 s lands in bucket 2 with a 13 s delay.
+	if pts[2].Delivered != 1 {
+		t.Fatalf("bucket 2 = %+v", pts[2])
+	}
+	if got := pts[2].MeanDelayMs(); math.Abs(got-13000) > 1e-9 {
+		t.Fatalf("bucket 2 delay = %v ms", got)
+	}
+	// 512*8 bits over a 10 s bucket = 0.4096 kbps.
+	if got := pts[0].ThroughputKbps(tl.Width); math.Abs(got-0.4096) > 1e-9 {
+		t.Fatalf("bucket 0 throughput = %v", got)
+	}
+}
+
+func TestTimelineCSV(t *testing.T) {
+	tl := NewTimeline(10 * sim.Second)
+	p := pkt(1, 1, sim.Time(2*sim.Second))
+	tl.PacketSent(p)
+	tl.PacketDelivered(p, sim.Time(3*sim.Second))
+	var sb strings.Builder
+	if err := tl.WriteCSV(&sb); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(sb.String()), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("csv lines = %d", len(lines))
+	}
+	if !strings.HasPrefix(lines[0], "start_s,") {
+		t.Errorf("header = %q", lines[0])
+	}
+	if !strings.HasPrefix(lines[1], "0.0,1,1,") {
+		t.Errorf("row = %q", lines[1])
+	}
+}
+
+func TestTimelineZeroWidthPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("zero width accepted")
+		}
+	}()
+	NewTimeline(0)
+}
+
+func TestTimePointEdges(t *testing.T) {
+	var p TimePoint
+	if p.ThroughputKbps(0) != 0 || p.MeanDelayMs() != 0 {
+		t.Fatal("zero point non-zero metrics")
+	}
+}

@@ -1,0 +1,96 @@
+package stats
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/packet"
+	"repro/internal/sim"
+)
+
+// TimePoint is one bucket of a run's timeline.
+type TimePoint struct {
+	// Start is the bucket's left edge.
+	Start sim.Time
+	// Sent and Delivered count end-to-end packets in the bucket
+	// (delivered are attributed to their delivery instant).
+	Sent, Delivered uint64
+	// Bytes is delivered payload volume.
+	Bytes uint64
+	// DelaySum accumulates the delivered packets' end-to-end delays.
+	DelaySum sim.Duration
+}
+
+// ThroughputKbps returns the bucket's delivered rate given the bucket
+// width.
+func (p TimePoint) ThroughputKbps(width sim.Duration) float64 {
+	if width <= 0 {
+		return 0
+	}
+	return float64(p.Bytes) * 8 / width.Seconds() / 1e3
+}
+
+// MeanDelayMs returns the bucket's mean end-to-end delay.
+func (p TimePoint) MeanDelayMs() float64 {
+	if p.Delivered == 0 {
+		return 0
+	}
+	return p.DelaySum.Milliseconds() / float64(p.Delivered)
+}
+
+// Timeline buckets end-to-end traffic into fixed windows, showing how a
+// run's throughput and delay evolve (e.g. the onset of congestion
+// collapse past the saturation knee). Hook PacketSent/PacketDelivered in
+// parallel with a Collector.
+type Timeline struct {
+	// Width is the bucket size.
+	Width sim.Duration
+
+	points []TimePoint
+}
+
+// NewTimeline creates a timeline with the given bucket width.
+func NewTimeline(width sim.Duration) *Timeline {
+	if width <= 0 {
+		panic("stats: non-positive timeline bucket width")
+	}
+	return &Timeline{Width: width}
+}
+
+func (t *Timeline) bucket(at sim.Time) *TimePoint {
+	idx := int(at / sim.Time(t.Width))
+	for len(t.points) <= idx {
+		t.points = append(t.points, TimePoint{Start: sim.Time(len(t.points)) * sim.Time(t.Width)})
+	}
+	return &t.points[idx]
+}
+
+// PacketSent records an injection at its creation time.
+func (t *Timeline) PacketSent(np *packet.NetPacket) {
+	t.bucket(np.CreatedAt).Sent++
+}
+
+// PacketDelivered records a delivery at time now.
+func (t *Timeline) PacketDelivered(np *packet.NetPacket, now sim.Time) {
+	b := t.bucket(now)
+	b.Delivered++
+	b.Bytes += uint64(np.Bytes)
+	b.DelaySum += now.Sub(np.CreatedAt)
+}
+
+// Points returns the buckets in time order.
+func (t *Timeline) Points() []TimePoint { return t.points }
+
+// WriteCSV emits t as CSV rows: start_s,sent,delivered,kbps,delay_ms.
+func (t *Timeline) WriteCSV(w io.Writer) error {
+	if _, err := fmt.Fprintln(w, "start_s,sent,delivered,throughput_kbps,mean_delay_ms"); err != nil {
+		return err
+	}
+	for _, p := range t.points {
+		if _, err := fmt.Fprintf(w, "%.1f,%d,%d,%.1f,%.1f\n",
+			p.Start.Seconds(), p.Sent, p.Delivered, p.ThroughputKbps(t.Width), p.MeanDelayMs()); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,139 @@
+// Package traffic implements the paper's workload: constant bit rate
+// (CBR) sources over UDP with fixed 512-byte packets, plus the sink-side
+// bookkeeping hooks.
+package traffic
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/packet"
+	"repro/internal/sim"
+)
+
+// Sender is where a source injects packets; aodv.Router satisfies it.
+type Sender interface {
+	Send(np *packet.NetPacket)
+}
+
+// CBR generates fixed-size packets at a constant rate from Src to Dst.
+type CBR struct {
+	// FlowID tags the flow (used as the PCMAC session ID).
+	FlowID uint32
+	// Src and Dst are the end-to-end addresses.
+	Src, Dst packet.NodeID
+	// Bytes is the payload size (512 in the paper).
+	Bytes int
+	// Interval is the packet spacing.
+	Interval sim.Duration
+	// NextUID mints packet IDs.
+	NextUID func() uint64
+	// OnGenerate, if set, observes every generated packet (the stats
+	// collector hooks in here).
+	OnGenerate func(np *packet.NetPacket)
+
+	sched  *sim.Scheduler
+	sender Sender
+	seq    uint32
+	timer  *sim.Timer
+	until  sim.Time
+
+	// Generated counts packets injected.
+	Generated uint64
+}
+
+// NewCBR creates a CBR source delivering packets into sender.
+func NewCBR(sched *sim.Scheduler, sender Sender, flowID uint32, src, dst packet.NodeID, bytes int, interval sim.Duration) *CBR {
+	if interval <= 0 {
+		panic(fmt.Sprintf("traffic: non-positive CBR interval %d", interval))
+	}
+	if bytes <= 0 {
+		panic(fmt.Sprintf("traffic: non-positive CBR payload %d", bytes))
+	}
+	c := &CBR{
+		FlowID:   flowID,
+		Src:      src,
+		Dst:      dst,
+		Bytes:    bytes,
+		Interval: interval,
+		NextUID:  func() uint64 { return 0 },
+		sched:    sched,
+		sender:   sender,
+	}
+	c.timer = sim.NewTimer(sched, c.tick)
+	return c
+}
+
+// RateBps returns the flow's offered bit rate.
+func (c *CBR) RateBps() float64 {
+	return float64(c.Bytes*8) / c.Interval.Seconds()
+}
+
+// Start begins generation at time start and stops it at until. A small
+// start jitter (supplied by the caller via start) decorrelates flows.
+func (c *CBR) Start(start sim.Time, until sim.Time) {
+	c.until = until
+	c.timer.StartAt(start)
+}
+
+// Stop halts generation.
+func (c *CBR) Stop() { c.timer.Stop() }
+
+func (c *CBR) tick() {
+	now := c.sched.Now()
+	if now >= c.until {
+		return
+	}
+	c.seq++
+	np := &packet.NetPacket{
+		UID:       c.NextUID(),
+		Proto:     packet.ProtoUDP,
+		Src:       c.Src,
+		Dst:       c.Dst,
+		TTL:       32,
+		Bytes:     c.Bytes,
+		FlowID:    c.FlowID,
+		Seq:       c.seq,
+		CreatedAt: now,
+	}
+	c.Generated++
+	if c.OnGenerate != nil {
+		c.OnGenerate(np)
+	}
+	c.sender.Send(np)
+	c.timer.Start(c.Interval)
+}
+
+// IntervalFor returns the packet interval that makes one flow of the
+// given payload contribute rateBps to the offered load.
+func IntervalFor(bytes int, rateBps float64) sim.Duration {
+	if rateBps <= 0 {
+		panic(fmt.Sprintf("traffic: non-positive rate %g", rateBps))
+	}
+	return sim.DurationOf(float64(bytes*8) / rateBps)
+}
+
+// PickPairs chooses n distinct (src, dst) pairs among nodes [0, count),
+// with src != dst and no duplicate pairs, mirroring the paper's "10
+// source and destination pairs".
+func PickPairs(count, n int, rng *rand.Rand) [][2]packet.NodeID {
+	if count < 2 {
+		panic("traffic: need at least two nodes for a flow")
+	}
+	seen := make(map[[2]packet.NodeID]bool, n)
+	out := make([][2]packet.NodeID, 0, n)
+	for len(out) < n {
+		a := packet.NodeID(rng.Intn(count))
+		b := packet.NodeID(rng.Intn(count))
+		if a == b {
+			continue
+		}
+		p := [2]packet.NodeID{a, b}
+		if seen[p] {
+			continue
+		}
+		seen[p] = true
+		out = append(out, p)
+	}
+	return out
+}

@@ -1,0 +1,145 @@
+package traffic
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/packet"
+	"repro/internal/sim"
+)
+
+type captureSender struct {
+	pkts []*packet.NetPacket
+}
+
+func (s *captureSender) Send(np *packet.NetPacket) { s.pkts = append(s.pkts, np) }
+
+func TestCBRGeneratesAtRate(t *testing.T) {
+	sched := sim.NewScheduler()
+	snd := &captureSender{}
+	// 512 B every 50 ms for 10 s starting at 1 s -> 180 packets.
+	c := NewCBR(sched, snd, 1, 0, 5, 512, 50*sim.Millisecond)
+	c.Start(sim.Time(sim.Second), sim.Time(10*sim.Second))
+	sched.RunAll()
+	if len(snd.pkts) != 180 {
+		t.Fatalf("generated %d packets, want 180", len(snd.pkts))
+	}
+	if c.Generated != 180 {
+		t.Fatalf("Generated = %d", c.Generated)
+	}
+	// Sequences are 1..n and creation times spaced by the interval.
+	for i, p := range snd.pkts {
+		if p.Seq != uint32(i+1) {
+			t.Fatalf("packet %d seq = %d", i, p.Seq)
+		}
+		want := sim.Time(sim.Second).Add(sim.Duration(i) * 50 * sim.Millisecond)
+		if p.CreatedAt != want {
+			t.Fatalf("packet %d created at %v, want %v", i, p.CreatedAt, want)
+		}
+		if p.Src != 0 || p.Dst != 5 || p.Bytes != 512 || p.Proto != packet.ProtoUDP || p.FlowID != 1 {
+			t.Fatalf("packet fields wrong: %+v", p)
+		}
+	}
+}
+
+func TestCBRStop(t *testing.T) {
+	sched := sim.NewScheduler()
+	snd := &captureSender{}
+	c := NewCBR(sched, snd, 1, 0, 5, 512, 10*sim.Millisecond)
+	c.Start(0, sim.Time(10*sim.Second))
+	sched.Schedule(105*sim.Millisecond, func() { c.Stop() })
+	sched.Run(sim.Time(sim.Second))
+	if len(snd.pkts) != 11 { // t=0..100ms inclusive
+		t.Fatalf("generated %d packets after Stop, want 11", len(snd.pkts))
+	}
+}
+
+func TestCBRRate(t *testing.T) {
+	sched := sim.NewScheduler()
+	c := NewCBR(sched, &captureSender{}, 1, 0, 1, 512, 50*sim.Millisecond)
+	want := 512.0 * 8 / 0.05
+	if math.Abs(c.RateBps()-want) > 1e-6 {
+		t.Fatalf("RateBps = %v, want %v", c.RateBps(), want)
+	}
+}
+
+func TestCBRHook(t *testing.T) {
+	sched := sim.NewScheduler()
+	snd := &captureSender{}
+	c := NewCBR(sched, snd, 1, 0, 5, 512, 100*sim.Millisecond)
+	var hooked int
+	c.OnGenerate = func(np *packet.NetPacket) { hooked++ }
+	uid := uint64(100)
+	c.NextUID = func() uint64 { uid++; return uid }
+	c.Start(0, sim.Time(sim.Second))
+	sched.RunAll()
+	if hooked != len(snd.pkts) {
+		t.Fatalf("hook fired %d times for %d packets", hooked, len(snd.pkts))
+	}
+	if snd.pkts[0].UID != 101 {
+		t.Fatalf("UID = %d, want 101", snd.pkts[0].UID)
+	}
+}
+
+func TestCBRInvalid(t *testing.T) {
+	sched := sim.NewScheduler()
+	for _, f := range []func(){
+		func() { NewCBR(sched, &captureSender{}, 1, 0, 1, 512, 0) },
+		func() { NewCBR(sched, &captureSender{}, 1, 0, 1, 0, sim.Second) },
+		func() { IntervalFor(512, 0) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("invalid construction did not panic")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestIntervalFor(t *testing.T) {
+	// One 512 B flow at 30 kbps: 4096 bits / 30000 bps = 136.53 ms.
+	got := IntervalFor(512, 30e3)
+	want := sim.DurationOf(4096.0 / 30000.0)
+	if got != want {
+		t.Fatalf("IntervalFor = %v, want %v", got, want)
+	}
+	// Sanity: ten such flows offer 300 kbps aggregate.
+	agg := 10 * 512 * 8 / got.Seconds()
+	if math.Abs(agg-300e3)/300e3 > 1e-6 {
+		t.Fatalf("aggregate = %v, want 300k", agg)
+	}
+}
+
+func TestPickPairs(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	pairs := PickPairs(50, 10, rng)
+	if len(pairs) != 10 {
+		t.Fatalf("len = %d", len(pairs))
+	}
+	seen := map[[2]packet.NodeID]bool{}
+	for _, p := range pairs {
+		if p[0] == p[1] {
+			t.Fatalf("self-flow %v", p)
+		}
+		if p[0] >= 50 || p[1] >= 50 {
+			t.Fatalf("node out of range %v", p)
+		}
+		if seen[p] {
+			t.Fatalf("duplicate pair %v", p)
+		}
+		seen[p] = true
+	}
+}
+
+func TestPickPairsPanicsTinyNetwork(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("PickPairs(1, ...) did not panic")
+		}
+	}()
+	PickPairs(1, 1, rand.New(rand.NewSource(1)))
+}

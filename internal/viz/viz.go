@@ -1,0 +1,144 @@
+// Package viz renders simulation topologies as ASCII maps: node
+// positions on the field, flow endpoints, and per-node decode-range
+// connectivity. It exists for the same reason ns-2 shipped nam — when a
+// scenario misbehaves, the first question is "what does the topology
+// actually look like?".
+package viz
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"repro/internal/geom"
+	"repro/internal/packet"
+)
+
+// Map renders a field of nodes into a width x height character grid.
+type Map struct {
+	// Field is the simulated area.
+	Field geom.Rect
+	// Cols/Rows are the character grid dimensions.
+	Cols, Rows int
+
+	nodes []mappedNode
+	marks map[packet.NodeID]rune
+}
+
+type mappedNode struct {
+	id  packet.NodeID
+	pos geom.Point
+}
+
+// NewMap creates a renderer for the given field at the given character
+// resolution.
+func NewMap(field geom.Rect, cols, rows int) *Map {
+	if cols < 2 || rows < 2 {
+		panic("viz: grid too small")
+	}
+	return &Map{Field: field, Cols: cols, Rows: rows, marks: make(map[packet.NodeID]rune)}
+}
+
+// Add places a node on the map.
+func (m *Map) Add(id packet.NodeID, pos geom.Point) {
+	m.nodes = append(m.nodes, mappedNode{id, pos})
+}
+
+// Mark overrides the glyph for one node (e.g. 'S' for a source, 'D' for
+// a destination). Default glyphs are the last digit of the node ID.
+func (m *Map) Mark(id packet.NodeID, glyph rune) { m.marks[id] = glyph }
+
+// MarkFlows marks each flow's endpoints S and D; nodes serving both
+// roles render as 'X'.
+func (m *Map) MarkFlows(pairs [][2]packet.NodeID) {
+	for _, p := range pairs {
+		src, dst := p[0], p[1]
+		if m.marks[src] == 'D' || m.marks[src] == 'X' {
+			m.Mark(src, 'X')
+		} else {
+			m.Mark(src, 'S')
+		}
+		if m.marks[dst] == 'S' || m.marks[dst] == 'X' {
+			m.Mark(dst, 'X')
+		} else {
+			m.Mark(dst, 'D')
+		}
+	}
+}
+
+// cell maps field coordinates to grid coordinates.
+func (m *Map) cell(p geom.Point) (col, row int) {
+	fx := (p.X - m.Field.Min.X) / m.Field.Width()
+	fy := (p.Y - m.Field.Min.Y) / m.Field.Height()
+	col = int(fx*float64(m.Cols-1) + 0.5)
+	row = int(fy*float64(m.Rows-1) + 0.5)
+	if col < 0 {
+		col = 0
+	}
+	if col >= m.Cols {
+		col = m.Cols - 1
+	}
+	if row < 0 {
+		row = 0
+	}
+	if row >= m.Rows {
+		row = m.Rows - 1
+	}
+	return col, row
+}
+
+// Render writes the map with a border.
+func (m *Map) Render(w io.Writer) error {
+	grid := make([][]rune, m.Rows)
+	for i := range grid {
+		grid[i] = []rune(strings.Repeat(".", m.Cols))
+	}
+	for _, n := range m.nodes {
+		col, row := m.cell(n.pos)
+		glyph, ok := m.marks[n.id]
+		if !ok {
+			glyph = rune('0' + int(n.id)%10)
+		}
+		grid[row][col] = glyph
+	}
+	var sb strings.Builder
+	sb.WriteString("+" + strings.Repeat("-", m.Cols) + "+\n")
+	for _, row := range grid {
+		sb.WriteString("|")
+		sb.WriteString(string(row))
+		sb.WriteString("|\n")
+	}
+	sb.WriteString("+" + strings.Repeat("-", m.Cols) + "+\n")
+	_, err := io.WriteString(w, sb.String())
+	return err
+}
+
+// Connectivity prints the neighbour matrix: for every node, the nodes
+// inside its decode range at the given power (using the provided
+// received-power function and threshold).
+func Connectivity(w io.Writer, ids []packet.NodeID, pos []geom.Point, txPowerW, rxThreshW float64,
+	rxPower func(txPowerW, dist float64) float64) error {
+	if len(ids) != len(pos) {
+		return fmt.Errorf("viz: %d ids for %d positions", len(ids), len(pos))
+	}
+	for i, id := range ids {
+		var nbrs []string
+		for j, other := range ids {
+			if i == j {
+				continue
+			}
+			d := pos[i].Dist(pos[j])
+			if rxPower(txPowerW, d) >= rxThreshW {
+				nbrs = append(nbrs, fmt.Sprintf("%v(%.0fm)", other, d))
+			}
+		}
+		line := "(isolated)"
+		if len(nbrs) > 0 {
+			line = strings.Join(nbrs, " ")
+		}
+		if _, err := fmt.Fprintf(w, "%v: %s\n", id, line); err != nil {
+			return err
+		}
+	}
+	return nil
+}
