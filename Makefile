@@ -1,0 +1,23 @@
+# Mirrors .github/workflows/ci.yml exactly: `make lint build test bench`
+# is what CI runs.
+GO ?= go
+
+.PHONY: all build test bench lint fmt
+
+all: lint build test
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test -race -timeout 30m ./...
+
+bench:
+	$(GO) test -bench=. -benchtime=1x -run='^$$' -timeout 30m ./...
+
+lint:
+	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then echo "gofmt needed on:" >&2; echo "$$out" >&2; exit 1; fi
+	$(GO) vet ./...
+
+fmt:
+	gofmt -w .

@@ -1,0 +1,166 @@
+// Command campaign executes a declarative simulation campaign — a grid
+// of scheme × load × nodes × mobility × fading × seed runs — on a
+// worker pool, streaming per-run JSONL results and printing an
+// aggregate table. Campaigns come from JSON spec files or built-in
+// presets; the JSONL output doubles as a checkpoint, so an interrupted
+// campaign resumes where it stopped.
+//
+//	campaign -preset fig8 -duration 100 -seeds 3 -out fig8.jsonl
+//	campaign -preset fig8 -emit-spec > fig8.json   # edit, then:
+//	campaign -spec fig8.json -out fig8.jsonl
+//	campaign -spec fig8.json -out fig8.jsonl -resume
+//	campaign -preset ablation-safety -loads 300,400 -csv
+//	campaign -preset mobility -dry-run
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"repro/internal/runner"
+)
+
+func main() {
+	var (
+		spec     = flag.String("spec", "", "campaign spec JSON file")
+		preset   = flag.String("preset", "", "built-in campaign: "+strings.Join(runner.PresetNames(), "|"))
+		emitSpec = flag.Bool("emit-spec", false, "print the campaign as a JSON spec and exit")
+		dryRun   = flag.Bool("dry-run", false, "list the expanded runs without executing")
+		duration = flag.Float64("duration", 100, "preset: simulated seconds per run (paper: 400)")
+		seeds    = flag.Int("seeds", 3, "preset: replications per grid point")
+		loadsCSV = flag.String("loads", "", "preset: offered-load axis in kbps (default 200..550)")
+		out      = flag.String("out", "results.jsonl", "JSONL results/checkpoint file (empty: none)")
+		resume   = flag.Bool("resume", false, "skip runs already present in -out, append the rest")
+		workers  = flag.Int("workers", 0, "worker pool size (0 = GOMAXPROCS)")
+		csv      = flag.Bool("csv", false, "emit the aggregate as CSV instead of a table")
+		quiet    = flag.Bool("q", false, "suppress progress output")
+	)
+	flag.Parse()
+
+	camp, err := buildCampaign(*spec, *preset, *duration, *seeds, *loadsCSV)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+
+	if *emitSpec {
+		b, err := json.MarshalIndent(camp.File(), "", "  ")
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		os.Stdout.Write(append(b, '\n'))
+		return
+	}
+
+	runs, err := camp.Runs()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	if *dryRun {
+		for _, r := range runs {
+			fmt.Printf("%4d  %-50s seed=%d\n", r.Index, r.Key, r.Seed)
+		}
+		fmt.Fprintf(os.Stderr, "%d runs\n", len(runs))
+		return
+	}
+
+	opts := runner.ExecOptions{Workers: *workers}
+	if *resume && *out != "" {
+		// Drop any record a crash cut off mid-write before appending.
+		if err := runner.RepairCheckpoint(*out); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		completed, err := runner.LoadCheckpoint(*out)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		opts.Completed = completed
+	}
+	if *out != "" {
+		mode := os.O_CREATE | os.O_WRONLY
+		if *resume {
+			mode |= os.O_APPEND
+		} else {
+			mode |= os.O_TRUNC
+		}
+		f, err := os.OpenFile(*out, mode, 0o644)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		opts.Out = f
+	}
+	if !*quiet {
+		opts.Progress = func(done, total int) {
+			fmt.Fprintf(os.Stderr, "\r%d/%d runs", done, total)
+			if done == total {
+				fmt.Fprintln(os.Stderr)
+			}
+		}
+	}
+	agg := runner.NewAggregate()
+	opts.OnResult = agg.Add
+
+	sum, err := runner.Execute(camp, opts)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+
+	fmt.Printf("\n## campaign %s (%d runs: %d executed, %d resumed, %.1fs wall)\n\n",
+		camp.Name, sum.Total, sum.Executed, sum.Skipped, sum.Elapsed.Seconds())
+	if *csv {
+		err = agg.WriteCSV(os.Stdout)
+	} else {
+		err = agg.WriteTable(os.Stdout)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}
+
+// buildCampaign resolves the -spec/-preset flags into a Campaign.
+func buildCampaign(spec, preset string, duration float64, seeds int, loadsCSV string) (runner.Campaign, error) {
+	switch {
+	case spec != "" && preset != "":
+		return runner.Campaign{}, fmt.Errorf("campaign: -spec and -preset are mutually exclusive")
+	case spec != "":
+		return runner.LoadCampaign(spec)
+	case preset != "":
+		loads, err := parseLoads(loadsCSV)
+		if err != nil {
+			return runner.Campaign{}, err
+		}
+		return runner.Preset(preset, duration, seeds, loads)
+	default:
+		return runner.Campaign{}, fmt.Errorf("campaign: need -spec FILE or -preset NAME (presets: %s)",
+			strings.Join(runner.PresetNames(), ", "))
+	}
+}
+
+// parseLoads converts "200,300,400" to the load axis (nil when empty,
+// letting the preset default apply).
+func parseLoads(csv string) ([]float64, error) {
+	if strings.TrimSpace(csv) == "" {
+		return nil, nil
+	}
+	var loads []float64
+	for _, tok := range strings.Split(csv, ",") {
+		v, err := strconv.ParseFloat(strings.TrimSpace(tok), 64)
+		if err != nil {
+			return nil, fmt.Errorf("campaign: bad load %q", tok)
+		}
+		loads = append(loads, v)
+	}
+	return loads, nil
+}

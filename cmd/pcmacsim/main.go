@@ -12,6 +12,7 @@ import (
 	"os"
 
 	"repro/internal/mac"
+	"repro/internal/runner"
 	"repro/internal/scenario"
 	"repro/internal/sim"
 	"repro/internal/trace"
@@ -35,6 +36,7 @@ func main() {
 		shadowing  = flag.Float64("shadowing", 0, "log-normal shadowing sigma in dB (0 = two-ray ground)")
 		configPath = flag.String("config", "", "load the scenario from a JSON file (other flags ignored)")
 		tracePath  = flag.String("trace", "", "write an ns-2-style MAC event trace to this file")
+		jsonlPath  = flag.String("jsonl", "", "append the run's result record (campaign JSONL schema) to this file, - for stdout")
 		timeline   = flag.Float64("timeline", 0, "print a throughput/delay timeline with this bucket width in seconds")
 		verbose    = flag.Bool("v", false, "print per-flow and per-layer counters")
 	)
@@ -89,6 +91,28 @@ func main() {
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
+	}
+
+	if *jsonlPath != "" {
+		w := os.Stdout
+		if *jsonlPath != "-" {
+			f, err := os.OpenFile(*jsonlPath, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			defer f.Close()
+			w = f
+		}
+		// Key the record off the defaulted options the run actually
+		// used, so it stays consistent with its own fields.
+		if err := runner.WriteResult(w, runner.ResultOf(runner.SingleRun(res.Opts), res)); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if *jsonlPath == "-" {
+			return
+		}
 	}
 
 	fmt.Printf("scheme                    %s\n", res.Opts.Scheme)

@@ -14,10 +14,12 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
 	"strings"
 
 	"repro/internal/experiment"
 	"repro/internal/mac"
+	"repro/internal/runner"
 	"repro/internal/scenario"
 	"repro/internal/sim"
 )
@@ -36,9 +38,9 @@ func main() {
 
 	var loads []float64
 	for _, tok := range strings.Split(*loadsCSV, ",") {
-		var v float64
-		if _, err := fmt.Sscanf(strings.TrimSpace(tok), "%g", &v); err != nil {
-			fmt.Fprintf(os.Stderr, "bad load %q: %v\n", tok, err)
+		v, err := strconv.ParseFloat(strings.TrimSpace(tok), 64)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "bad load %q\n", tok)
 			os.Exit(2)
 		}
 		loads = append(loads, v)
@@ -98,73 +100,31 @@ func main() {
 	}
 }
 
-// runAblation sweeps one PCMAC design knob at a fixed protocol.
+// runAblation sweeps one PCMAC design knob as a declarative runner
+// campaign (the same grids cmd/campaign exposes as ablation-* presets),
+// so the variants execute on the worker pool instead of serially.
 func runAblation(kind string, base scenario.Options, loads []float64, seeds []int64, progress func(int, int), csv bool) {
-	type variant struct {
-		name string
-		mut  func(*scenario.Options)
-	}
-	var variants []variant
-	switch kind {
-	case "safety":
-		for _, sf := range []float64{0.5, 0.7, 0.9, 1.0} {
-			sf := sf
-			variants = append(variants, variant{fmt.Sprintf("safety=%.1f", sf), func(o *scenario.Options) { o.SafetyFactor = sf }})
-		}
-	case "ctrl":
-		variants = []variant{
-			{"pcmac", func(o *scenario.Options) {}},
-			{"pcmac-no-ctrl", func(o *scenario.Options) { o.DisableCtrlChannel = true }},
-		}
-	case "threeway":
-		variants = []variant{
-			{"pcmac", func(o *scenario.Options) {}},
-			{"pcmac-four-way", func(o *scenario.Options) { o.DisableThreeWay = true }},
-		}
-	case "expiry":
-		for _, e := range []float64{1, 3, 10} {
-			e := e
-			variants = append(variants, variant{fmt.Sprintf("expiry=%.0fs", e), func(o *scenario.Options) { o.HistoryExpiry = sim.DurationOf(e) }})
-		}
-	case "ctrlbw":
-		for _, bw := range []float64{125e3, 250e3, 500e3, 2e6} {
-			bw := bw
-			variants = append(variants, variant{fmt.Sprintf("bw=%.0fk", bw/1e3), func(o *scenario.Options) { o.CtrlBandwidthBps = bw }})
-		}
-	default:
-		fmt.Fprintf(os.Stderr, "unknown -ablation %q\n", kind)
+	camp, err := runner.Ablation(kind, base, loads, seeds)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
 	}
-
+	agg := runner.NewAggregate()
+	if _, err := runner.Execute(camp, runner.ExecOptions{
+		Progress: progress,
+		OnResult: agg.Add,
+	}); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
 	fmt.Printf("\n## PCMAC ablation: %s\n\n", kind)
 	if csv {
-		fmt.Println("variant,load_kbps,throughput_kbps,delay_ms")
+		err = agg.WriteCSV(os.Stdout)
+	} else {
+		err = agg.WriteTable(os.Stdout)
 	}
-	for _, v := range variants {
-		for _, load := range loads {
-			var tput, delay float64
-			for _, seed := range seeds {
-				opts := base
-				opts.Scheme = mac.PCMAC
-				opts.OfferedLoadKbps = load
-				opts.Seed = seed
-				v.mut(&opts)
-				res, err := scenario.Run(opts)
-				if err != nil {
-					fmt.Fprintln(os.Stderr, err)
-					os.Exit(1)
-				}
-				tput += res.ThroughputKbps
-				delay += res.AvgDelayMs
-			}
-			tput /= float64(len(seeds))
-			delay /= float64(len(seeds))
-			if csv {
-				fmt.Printf("%s,%.0f,%.1f,%.1f\n", v.name, load, tput, delay)
-			} else {
-				fmt.Printf("%-16s load=%4.0f  throughput=%7.1f kbps  delay=%8.1f ms\n", v.name, load, tput, delay)
-			}
-		}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
 	}
-	_ = progress
 }

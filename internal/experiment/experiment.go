@@ -1,19 +1,18 @@
-// Package experiment runs the paper's evaluation sweeps: offered load
-// versus throughput (Figure 8) and offered load versus end-to-end delay
-// (Figure 9) for the four MAC protocols, averaged over seeds, plus the
-// ablation sweeps listed in DESIGN.md. Runs are independent simulations
-// and execute in parallel.
+// Package experiment aggregates the paper's evaluation sweeps: offered
+// load versus throughput (Figure 8) and offered load versus end-to-end
+// delay (Figure 9) for the four MAC protocols, averaged over seeds. It
+// is a thin load × scheme aggregation layer over internal/runner, which
+// owns grid expansion and parallel execution.
 package experiment
 
 import (
 	"fmt"
 	"io"
-	"runtime"
 	"sort"
-	"sync"
 	"text/tabwriter"
 
 	"repro/internal/mac"
+	"repro/internal/runner"
 	"repro/internal/scenario"
 	"repro/internal/stats"
 )
@@ -64,14 +63,11 @@ type Config struct {
 	Progress func(done, total int)
 }
 
-// Run executes the sweep.
+// Run executes the sweep as a runner campaign and folds the per-run
+// results into load × scheme cells.
 func Run(cfg Config) (*Sweep, error) {
 	if len(cfg.Loads) == 0 || len(cfg.Schemes) == 0 || len(cfg.Seeds) == 0 {
 		return nil, fmt.Errorf("experiment: empty loads/schemes/seeds")
-	}
-	par := cfg.Parallelism
-	if par <= 0 {
-		par = runtime.GOMAXPROCS(0)
 	}
 	sweep := &Sweep{Loads: cfg.Loads, Schemes: cfg.Schemes, Cells: make(map[cellKey]*Cell)}
 	for _, l := range cfg.Loads {
@@ -80,66 +76,29 @@ func Run(cfg Config) (*Sweep, error) {
 		}
 	}
 
-	type job struct {
-		load   float64
-		scheme mac.Scheme
-		seed   int64
+	camp := runner.Campaign{
+		Name:      "sweep",
+		Base:      cfg.Base,
+		Schemes:   cfg.Schemes,
+		LoadsKbps: cfg.Loads,
+		SeedList:  cfg.Seeds,
 	}
-	var jobs []job
-	for _, l := range cfg.Loads {
-		for _, s := range cfg.Schemes {
-			for _, seed := range cfg.Seeds {
-				jobs = append(jobs, job{l, s, seed})
-			}
-		}
-	}
-
-	var (
-		mu      sync.Mutex
-		done    int
-		runErr  error
-		wg      sync.WaitGroup
-		jobChan = make(chan job)
-	)
-	worker := func() {
-		defer wg.Done()
-		for j := range jobChan {
-			opts := cfg.Base
-			opts.Scheme = j.scheme
-			opts.OfferedLoadKbps = j.load
-			opts.Seed = j.seed
-			res, err := scenario.Run(opts)
-			mu.Lock()
-			if err != nil {
-				if runErr == nil {
-					runErr = err
-				}
-			} else {
-				c := sweep.Cells[cellKey{j.load, j.scheme}]
-				c.Throughput.Append(res.ThroughputKbps)
-				c.DelayMs.Append(res.AvgDelayMs)
-				c.PDR.Append(res.PDR)
-				c.EnergyJ.Append(res.EnergyJ + res.CtrlEnergyJ)
-				c.Fairness.Append(res.JainFairness)
-			}
-			done++
-			if cfg.Progress != nil {
-				cfg.Progress(done, len(jobs))
-			}
-			mu.Unlock()
-		}
-	}
-	wg.Add(par)
-	for i := 0; i < par; i++ {
-		go worker()
-	}
-	for _, j := range jobs {
-		jobChan <- j
-	}
-	close(jobChan)
-	wg.Wait()
-	if runErr != nil {
-		return nil, runErr
+	_, err := runner.Execute(camp, runner.ExecOptions{
+		Workers:  cfg.Parallelism,
+		Progress: cfg.Progress,
+		OnResult: func(run runner.Run, r runner.Result) {
+			// Axis values pass through the runner unchanged, so they
+			// index the cell map exactly.
+			c := sweep.Cells[cellKey{run.Opts.OfferedLoadKbps, run.Opts.Scheme}]
+			c.Throughput.Append(r.ThroughputKbps)
+			c.DelayMs.Append(r.AvgDelayMs)
+			c.PDR.Append(r.PDR)
+			c.EnergyJ.Append(r.EnergyJ + r.CtrlEnergyJ)
+			c.Fairness.Append(r.JainFairness)
+		},
+	})
+	if err != nil {
+		return nil, err
 	}
 	return sweep, nil
 }

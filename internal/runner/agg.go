@@ -1,0 +1,93 @@
+package runner
+
+import (
+	"fmt"
+	"io"
+	"text/tabwriter"
+
+	"repro/internal/stats"
+)
+
+// Point aggregates the replications of one grid point.
+type Point struct {
+	// Label is the grid point's key (the run key minus the replication
+	// suffix).
+	Label string
+
+	Throughput stats.Series
+	DelayMs    stats.Series
+	PDR        stats.Series
+	EnergyJ    stats.Series
+	Fairness   stats.Series
+}
+
+// Aggregate folds campaign results into per-grid-point series, in
+// campaign order. It is not goroutine-safe; feed it from
+// ExecOptions.OnResult, which already serializes emission.
+type Aggregate struct {
+	order  []string
+	points map[string]*Point
+}
+
+// NewAggregate creates an empty aggregation.
+func NewAggregate() *Aggregate {
+	return &Aggregate{points: make(map[string]*Point)}
+}
+
+// Add folds one result in.
+func (a *Aggregate) Add(run Run, r Result) {
+	key := run.PointKey()
+	p, ok := a.points[key]
+	if !ok {
+		p = &Point{Label: key}
+		a.points[key] = p
+		a.order = append(a.order, key)
+	}
+	p.Throughput.Append(r.ThroughputKbps)
+	p.DelayMs.Append(r.AvgDelayMs)
+	p.PDR.Append(r.PDR)
+	p.EnergyJ.Append(r.EnergyJ + r.CtrlEnergyJ)
+	p.Fairness.Append(r.JainFairness)
+}
+
+// Points returns the grid points in first-seen (campaign) order.
+func (a *Aggregate) Points() []*Point {
+	out := make([]*Point, 0, len(a.order))
+	for _, k := range a.order {
+		out = append(out, a.points[k])
+	}
+	return out
+}
+
+// WriteTable renders one row per grid point with mean ±stddev of the
+// headline metrics over its replications.
+func (a *Aggregate) WriteTable(w io.Writer) error {
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "point\tn\tthroughput (kbps)\tdelay (ms)\tpdr\tenergy (J)\tfairness")
+	for _, p := range a.Points() {
+		fmt.Fprintf(tw, "%s\t%d\t%.1f ±%.1f\t%.1f ±%.1f\t%.3f\t%.2f\t%.3f\n",
+			p.Label, p.Throughput.N(),
+			p.Throughput.Mean(), p.Throughput.StdDev(),
+			p.DelayMs.Mean(), p.DelayMs.StdDev(),
+			p.PDR.Mean(), p.EnergyJ.Mean(), p.Fairness.Mean())
+	}
+	return tw.Flush()
+}
+
+// WriteCSV emits machine-readable aggregation rows, including the
+// throughput envelope (min/max over replications).
+func (a *Aggregate) WriteCSV(w io.Writer) error {
+	if _, err := fmt.Fprintln(w, "point,n,throughput_mean,throughput_sd,throughput_min,throughput_max,delay_mean,delay_sd,pdr_mean,energy_mean,fairness_mean"); err != nil {
+		return err
+	}
+	for _, p := range a.Points() {
+		if _, err := fmt.Fprintf(w, "%s,%d,%.3f,%.3f,%.3f,%.3f,%.3f,%.3f,%.3f,%.3f,%.3f\n",
+			p.Label, p.Throughput.N(),
+			p.Throughput.Mean(), p.Throughput.StdDev(), p.Throughput.Min(), p.Throughput.Max(),
+			p.DelayMs.Mean(), p.DelayMs.StdDev(),
+			p.PDR.Mean(), p.EnergyJ.Mean(), p.Fairness.Mean()); err != nil {
+			return err
+		}
+	}
+	return nil
+}

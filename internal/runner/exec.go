@@ -1,0 +1,317 @@
+// Campaign execution: a GOMAXPROCS-sized worker pool over the expanded
+// run list, with results re-sequenced into deterministic campaign order
+// before emission so the JSONL stream is byte-identical for any worker
+// count.
+package runner
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"os"
+	"runtime"
+	"sync"
+	"time"
+
+	"repro/internal/scenario"
+)
+
+// Result is one run's JSONL record: the grid coordinates, the seed, and
+// the scenario metrics. Field order is fixed by the struct, so encoding
+// is deterministic.
+type Result struct {
+	Key          string  `json:"key"`
+	Variant      string  `json:"variant,omitempty"`
+	Scheme       string  `json:"scheme"`
+	LoadKbps     float64 `json:"load_kbps"`
+	Nodes        int     `json:"nodes"`
+	SpeedMps     float64 `json:"speed_mps"`
+	ShadowingDB  float64 `json:"shadowing_db,omitempty"`
+	SafetyFactor float64 `json:"safety_factor"`
+	Rep          int     `json:"rep"`
+	Seed         int64   `json:"seed"`
+	DurationS    float64 `json:"duration_s"`
+
+	ThroughputKbps float64 `json:"throughput_kbps"`
+	AvgDelayMs     float64 `json:"avg_delay_ms"`
+	PDR            float64 `json:"pdr"`
+	JainFairness   float64 `json:"jain_fairness"`
+	EnergyJ        float64 `json:"energy_j"`
+	CtrlEnergyJ    float64 `json:"ctrl_energy_j"`
+	Events         uint64  `json:"events"`
+}
+
+// ResultOf builds the record for one completed run. Coordinates come
+// from the defaulted options the scenario actually ran with.
+func ResultOf(r Run, res scenario.Result) Result {
+	o := res.Opts
+	return Result{
+		Key:            r.Key,
+		Variant:        r.Variant,
+		Scheme:         o.Scheme.String(),
+		LoadKbps:       o.OfferedLoadKbps,
+		Nodes:          o.Nodes,
+		SpeedMps:       o.SpeedMax,
+		ShadowingDB:    o.ShadowingSigmaDB,
+		SafetyFactor:   o.SafetyFactor,
+		Rep:            r.Rep,
+		Seed:           r.Seed,
+		DurationS:      o.Duration.Seconds(),
+		ThroughputKbps: res.ThroughputKbps,
+		AvgDelayMs:     res.AvgDelayMs,
+		PDR:            res.PDR,
+		JainFairness:   res.JainFairness,
+		EnergyJ:        res.EnergyJ,
+		CtrlEnergyJ:    res.CtrlEnergyJ,
+		Events:         res.Events,
+	}
+}
+
+// WriteResult appends one JSONL record to w.
+func WriteResult(w io.Writer, r Result) error {
+	b, err := json.Marshal(r)
+	if err != nil {
+		return fmt.Errorf("runner: %w", err)
+	}
+	_, err = w.Write(append(b, '\n'))
+	return err
+}
+
+// LoadResults parses a JSONL result stream. A malformed final line
+// (e.g. a write truncated by a crash) is tolerated and dropped;
+// malformed interior lines are errors.
+func LoadResults(r io.Reader) ([]Result, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 16<<20)
+	var out []Result
+	badLine := 0
+	line := 0
+	for sc.Scan() {
+		line++
+		text := sc.Bytes()
+		if len(text) == 0 {
+			continue
+		}
+		var res Result
+		if err := json.Unmarshal(text, &res); err != nil {
+			if badLine > 0 {
+				return nil, fmt.Errorf("runner: malformed result line %d", badLine)
+			}
+			badLine = line
+			continue
+		}
+		if badLine > 0 {
+			return nil, fmt.Errorf("runner: malformed result line %d", badLine)
+		}
+		out = append(out, res)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("runner: %w", err)
+	}
+	return out, nil
+}
+
+// LoadCheckpoint reads a JSONL results file into a resume set for
+// ExecOptions.Completed. A missing file is an empty checkpoint.
+func LoadCheckpoint(path string) (map[string]Result, error) {
+	f, err := os.Open(path)
+	if os.IsNotExist(err) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, fmt.Errorf("runner: %w", err)
+	}
+	defer f.Close()
+	results, err := LoadResults(f)
+	if err != nil {
+		return nil, err
+	}
+	return ResumeSet(results), nil
+}
+
+// RepairCheckpoint truncates a trailing partial line (a record cut off
+// by a crash mid-write) so appended records start on a fresh line.
+// LoadCheckpoint already drops such a line when reading; repairing
+// before appending keeps the file parseable on the next resume instead
+// of fusing the partial line with the first new record.
+func RepairCheckpoint(path string) error {
+	f, err := os.OpenFile(path, os.O_RDWR, 0)
+	if os.IsNotExist(err) {
+		return nil
+	}
+	if err != nil {
+		return fmt.Errorf("runner: %w", err)
+	}
+	defer f.Close()
+	// Checkpoint files are one short line per run; reading whole is fine.
+	b, err := io.ReadAll(f)
+	if err != nil {
+		return fmt.Errorf("runner: %w", err)
+	}
+	if len(b) == 0 || b[len(b)-1] == '\n' {
+		return nil
+	}
+	cut := bytes.LastIndexByte(b, '\n') + 1
+	if err := f.Truncate(int64(cut)); err != nil {
+		return fmt.Errorf("runner: %w", err)
+	}
+	return nil
+}
+
+// ResumeSet indexes results by run key.
+func ResumeSet(results []Result) map[string]Result {
+	m := make(map[string]Result, len(results))
+	for _, r := range results {
+		m[r.Key] = r
+	}
+	return m
+}
+
+// ExecOptions configures Execute.
+type ExecOptions struct {
+	// Workers bounds concurrent simulations (default GOMAXPROCS).
+	Workers int
+	// Out, if non-nil, receives executed results as JSONL in campaign
+	// order (resumed results are not re-written).
+	Out io.Writer
+	// Completed holds checkpointed results by run key; matching runs are
+	// skipped but still reported through OnResult so aggregates include
+	// them.
+	Completed map[string]Result
+	// Progress, if non-nil, is called after each run is emitted
+	// (including resumed runs), in campaign order.
+	Progress func(done, total int)
+	// OnResult, if non-nil, receives every result in campaign order,
+	// from a single goroutine.
+	OnResult func(run Run, r Result)
+}
+
+// Summary reports what Execute did.
+type Summary struct {
+	// Total is the campaign's run count; Executed ran now; Skipped were
+	// satisfied from the checkpoint.
+	Total, Executed, Skipped int
+	// Elapsed is the wall-clock execution time.
+	Elapsed time.Duration
+}
+
+// Execute runs a campaign on a worker pool. Runs are independent
+// simulations and execute concurrently; emission (Out, OnResult,
+// Progress) is re-sequenced into the campaign's deterministic run
+// order, so the JSONL stream is byte-identical whether one worker ran
+// or sixteen. The first simulation or write error is returned after the
+// pool drains; remaining results still execute but are not emitted
+// past the error.
+func Execute(c Campaign, opts ExecOptions) (Summary, error) {
+	runs, err := c.Runs()
+	if err != nil {
+		return Summary{}, err
+	}
+	start := time.Now()
+	workers := opts.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+
+	type slot struct {
+		res      Result
+		ready    bool
+		executed bool
+		err      error
+	}
+	slots := make([]slot, len(runs))
+	var pending []Run
+	for i, r := range runs {
+		if res, ok := opts.Completed[r.Key]; ok {
+			// Guard against a checkpoint from a different campaign: run
+			// keys omit unswept base fields, so an edited spec (new base
+			// seed, changed duration) would otherwise silently reuse
+			// stale results.
+			if res.Seed != r.Seed {
+				return Summary{}, fmt.Errorf("runner: checkpoint entry %s has seed %d but the campaign derives %d — the spec changed; use a fresh output file", r.Key, res.Seed, r.Seed)
+			}
+			if d := r.Opts.Duration.Seconds(); d > 0 && math.Abs(res.DurationS-d) > 1e-9 {
+				return Summary{}, fmt.Errorf("runner: checkpoint entry %s ran %gs but the campaign wants %gs — the spec changed; use a fresh output file", r.Key, res.DurationS, d)
+			}
+			slots[i] = slot{res: res, ready: true}
+		} else {
+			pending = append(pending, r)
+		}
+	}
+	if workers > len(pending) && len(pending) > 0 {
+		workers = len(pending)
+	}
+	sum := Summary{Total: len(runs), Skipped: len(runs) - len(pending)}
+
+	type outcome struct {
+		idx int
+		res Result
+		err error
+	}
+	jobs := make(chan Run)
+	outs := make(chan outcome)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for r := range jobs {
+				res, err := scenario.Run(r.Opts)
+				if err != nil {
+					outs <- outcome{r.Index, Result{}, fmt.Errorf("runner: run %s: %w", r.Key, err)}
+					continue
+				}
+				outs <- outcome{r.Index, ResultOf(r, res), nil}
+			}
+		}()
+	}
+	go func() {
+		for _, r := range pending {
+			jobs <- r
+		}
+		close(jobs)
+	}()
+
+	var firstErr error
+	next, done := 0, 0
+	flush := func() {
+		for next < len(runs) && slots[next].ready {
+			s := slots[next]
+			if s.err != nil && firstErr == nil {
+				firstErr = s.err
+			}
+			if s.err == nil && firstErr == nil {
+				if s.executed && opts.Out != nil {
+					if werr := WriteResult(opts.Out, s.res); werr != nil {
+						firstErr = werr
+					}
+				}
+				if opts.OnResult != nil {
+					opts.OnResult(runs[next], s.res)
+				}
+			}
+			done++
+			if opts.Progress != nil {
+				opts.Progress(done, len(runs))
+			}
+			next++
+		}
+	}
+	flush() // emit any checkpointed prefix immediately
+	for received := 0; received < len(pending); received++ {
+		o := <-outs
+		if o.err != nil {
+			slots[o.idx] = slot{ready: true, err: o.err}
+		} else {
+			slots[o.idx] = slot{res: o.res, ready: true, executed: true}
+			sum.Executed++
+		}
+		flush()
+	}
+	wg.Wait()
+	sum.Elapsed = time.Since(start)
+	return sum, firstErr
+}

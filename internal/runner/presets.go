@@ -1,0 +1,179 @@
+package runner
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/mac"
+	"repro/internal/scenario"
+	"repro/internal/sim"
+)
+
+// DefaultLoads is the offered-load axis the paper's Figure 8/9 sweep
+// uses on this substrate (see EXPERIMENTS.md: it saturates earlier than
+// ns-2, so the interesting region sits below the paper's 1000 kbps).
+func DefaultLoads() []float64 {
+	return []float64{200, 250, 300, 350, 400, 450, 500, 550}
+}
+
+// evalBase is the paper's Section IV scenario with a configurable
+// horizon: 50 random-waypoint nodes on 1000x1000 m, 10 CBR pairs. The
+// 5 s route-establishment warmup shrinks to a quarter of short horizons
+// so quick runs keep a non-empty measurement window.
+func evalBase(durationS float64) scenario.Options {
+	warmupS := 5.0
+	if durationS < 4*warmupS {
+		warmupS = durationS / 4
+	}
+	return scenario.Options{
+		Duration: sim.DurationOf(durationS),
+		Warmup:   sim.DurationOf(warmupS),
+	}
+}
+
+// Preset names a built-in campaign grid.
+type presetFunc func(durationS float64, reps int, loads []float64) Campaign
+
+var presets = map[string]presetFunc{
+	// fig8/fig9 share one grid; the figures differ only in which metric
+	// is plotted (throughput vs delay).
+	"fig8": func(d float64, reps int, loads []float64) Campaign {
+		return Campaign{Name: "fig8", Base: evalBase(d), Schemes: mac.Schemes(), LoadsKbps: loads, Reps: reps}
+	},
+	"fig9": func(d float64, reps int, loads []float64) Campaign {
+		return Campaign{Name: "fig9", Base: evalBase(d), Schemes: mac.Schemes(), LoadsKbps: loads, Reps: reps}
+	},
+	// fading overlays log-normal shadowing — the fluctuation the paper's
+	// 0.7 safety coefficient anticipates.
+	"fading": func(d float64, reps int, loads []float64) Campaign {
+		return Campaign{
+			Name:        "fading",
+			Base:        evalBase(d),
+			Schemes:     []mac.Scheme{mac.Basic, mac.PCMAC},
+			LoadsKbps:   loads,
+			ShadowingDB: []float64{0, 2, 4, 6},
+			Reps:        reps,
+		}
+	},
+	// mobility sweeps node speed from pedestrian to vehicular.
+	"mobility": func(d float64, reps int, loads []float64) Campaign {
+		return Campaign{
+			Name:      "mobility",
+			Base:      evalBase(d),
+			Schemes:   mac.Schemes(),
+			LoadsKbps: loads,
+			SpeedsMps: []float64{1, 3, 10, 20},
+			Reps:      reps,
+		}
+	},
+	// density sweeps terminal count at fixed field size.
+	"density": func(d float64, reps int, loads []float64) Campaign {
+		return Campaign{
+			Name:      "density",
+			Base:      evalBase(d),
+			Schemes:   mac.Schemes(),
+			LoadsKbps: loads,
+			Nodes:     []int{25, 50, 75, 100},
+			Reps:      reps,
+		}
+	},
+	"ablation-safety":   ablationPreset("safety"),
+	"ablation-ctrl":     ablationPreset("ctrl"),
+	"ablation-threeway": ablationPreset("threeway"),
+	"ablation-expiry":   ablationPreset("expiry"),
+	"ablation-ctrlbw":   ablationPreset("ctrlbw"),
+}
+
+// ablationPreset adapts an ablation grid to the preset signature. The
+// kind names here are the switch cases of ablation(); an unknown kind
+// panics at package init via TestPresetsExpand rather than running an
+// empty grid.
+func ablationPreset(kind string) presetFunc {
+	return func(d float64, reps int, loads []float64) Campaign {
+		c, err := ablation(kind, evalBase(d), loads)
+		if err != nil {
+			panic(err)
+		}
+		c.Reps = reps
+		return c
+	}
+}
+
+// PresetNames lists the built-in campaigns, sorted.
+func PresetNames() []string {
+	names := make([]string, 0, len(presets))
+	for n := range presets {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Preset builds a built-in campaign. durationS is the simulated horizon
+// per run (the paper uses 400 s), reps the replications per grid point,
+// and loads the offered-load axis (nil takes DefaultLoads).
+func Preset(name string, durationS float64, reps int, loads []float64) (Campaign, error) {
+	f, ok := presets[name]
+	if !ok {
+		return Campaign{}, fmt.Errorf("runner: unknown preset %q (have %v)", name, PresetNames())
+	}
+	if loads == nil {
+		loads = DefaultLoads()
+	}
+	if reps <= 0 {
+		reps = 1
+	}
+	return f(durationS, reps, loads), nil
+}
+
+// ablation builds the PCMAC design-knob grids of DESIGN.md as
+// declarative campaigns.
+func ablation(kind string, base scenario.Options, loads []float64) (Campaign, error) {
+	c := Campaign{
+		Name:      "ablation-" + kind,
+		Base:      base,
+		Schemes:   []mac.Scheme{mac.PCMAC},
+		LoadsKbps: loads,
+	}
+	switch kind {
+	case "safety":
+		c.SafetyFactors = []float64{0.5, 0.7, 0.9, 1.0}
+	case "ctrl":
+		c.Variants = []Variant{
+			{Name: "pcmac"},
+			{Name: "pcmac-no-ctrl", Patch: scenario.FileConfig{DisableCtrlChannel: true}},
+		}
+	case "threeway":
+		c.Variants = []Variant{
+			{Name: "pcmac"},
+			{Name: "pcmac-four-way", Patch: scenario.FileConfig{DisableThreeWay: true}},
+		}
+	case "expiry":
+		c.Variants = []Variant{
+			{Name: "expiry=1s", Patch: scenario.FileConfig{HistoryExpiryS: 1}},
+			{Name: "expiry=3s", Patch: scenario.FileConfig{HistoryExpiryS: 3}},
+			{Name: "expiry=10s", Patch: scenario.FileConfig{HistoryExpiryS: 10}},
+		}
+	case "ctrlbw":
+		c.Variants = []Variant{
+			{Name: "bw=125k", Patch: scenario.FileConfig{CtrlBandwidthBps: 125e3}},
+			{Name: "bw=250k", Patch: scenario.FileConfig{CtrlBandwidthBps: 250e3}},
+			{Name: "bw=500k", Patch: scenario.FileConfig{CtrlBandwidthBps: 500e3}},
+			{Name: "bw=2000k", Patch: scenario.FileConfig{CtrlBandwidthBps: 2e6}},
+		}
+	default:
+		return Campaign{}, fmt.Errorf("runner: unknown ablation %q (want safety|ctrl|threeway|expiry|ctrlbw)", kind)
+	}
+	return c, nil
+}
+
+// Ablation exposes the PCMAC ablation grids with an explicit base and
+// seed list; cmd/sweep builds its -ablation mode from this.
+func Ablation(kind string, base scenario.Options, loads []float64, seeds []int64) (Campaign, error) {
+	c, err := ablation(kind, base, loads)
+	if err != nil {
+		return Campaign{}, err
+	}
+	c.SeedList = seeds
+	return c, nil
+}

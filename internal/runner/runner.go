@@ -1,0 +1,339 @@
+// Package runner orchestrates simulation campaigns: declarative grids
+// of independent runs (scheme × load × nodes × mobility × fading ×
+// seed) executed on a worker pool with deterministic per-run seed
+// derivation, streaming JSON-Lines result emission, progress reporting
+// and resumable checkpointing. Every figure and ablation of the paper's
+// evaluation is expressible as a Campaign value (or a JSON spec file)
+// instead of bespoke loop code; internal/experiment and the cmd/
+// binaries are thin layers over this package.
+package runner
+
+import (
+	"fmt"
+	"hash/fnv"
+	"strings"
+
+	"repro/internal/mac"
+	"repro/internal/scenario"
+)
+
+// Variant is a named declarative patch on the base scenario — the
+// mechanism behind ablations (disable the control channel, force the
+// four-way handshake, change the history expiry, ...). Non-zero fields
+// of Patch override the campaign base; explicit grid axes (Schemes,
+// LoadsKbps, ...) are applied after the patch and win over it.
+type Variant struct {
+	Name  string              `json:"name"`
+	Patch scenario.FileConfig `json:"patch"`
+}
+
+// apply overlays the variant's non-zero patch fields onto o.
+func (v Variant) apply(o *scenario.Options) error {
+	p := v.Patch
+	if p.Scheme != "" {
+		s, err := mac.ParseScheme(p.Scheme)
+		if err != nil {
+			return fmt.Errorf("runner: variant %q: %w", v.Name, err)
+		}
+		o.Scheme = s
+	}
+	patched, err := p.Options()
+	if err != nil && p.Scheme == "" {
+		// p.Options requires a scheme name; retry with a placeholder so
+		// scheme-less patches (the common case) still convert.
+		p.Scheme = o.Scheme.String()
+		patched, err = p.Options()
+	}
+	if err != nil {
+		return fmt.Errorf("runner: variant %q: %w", v.Name, err)
+	}
+	if p.Nodes != 0 {
+		o.Nodes = patched.Nodes
+	}
+	if p.FieldW != 0 {
+		o.FieldW = patched.FieldW
+	}
+	if p.FieldH != 0 {
+		o.FieldH = patched.FieldH
+	}
+	if p.SpeedMin != 0 {
+		o.SpeedMin = patched.SpeedMin
+	}
+	if p.SpeedMax != 0 {
+		o.SpeedMax = patched.SpeedMax
+	}
+	if p.PauseS != 0 {
+		o.Pause = patched.Pause
+	}
+	if p.Flows != 0 {
+		o.Flows = patched.Flows
+	}
+	if p.OfferedLoadKbps != 0 {
+		o.OfferedLoadKbps = patched.OfferedLoadKbps
+	}
+	if p.PacketBytes != 0 {
+		o.PacketBytes = patched.PacketBytes
+	}
+	if p.DurationS != 0 {
+		o.Duration = patched.Duration
+	}
+	if p.WarmupS != 0 {
+		o.Warmup = patched.Warmup
+	}
+	if p.SafetyFactor != 0 {
+		o.SafetyFactor = patched.SafetyFactor
+	}
+	if p.HistoryExpiryS != 0 {
+		o.HistoryExpiry = patched.HistoryExpiry
+	}
+	if p.CtrlBandwidthBps != 0 {
+		o.CtrlBandwidthBps = patched.CtrlBandwidthBps
+	}
+	if p.DisableCtrlChannel {
+		o.DisableCtrlChannel = true
+	}
+	if p.DisableThreeWay {
+		o.DisableThreeWay = true
+	}
+	if p.ShadowingSigmaDB != 0 {
+		o.ShadowingSigmaDB = patched.ShadowingSigmaDB
+	}
+	if p.FlowRateSpreadPct != 0 {
+		o.FlowRateSpreadPct = patched.FlowRateSpreadPct
+	}
+	if p.RTSThresholdBytes != 0 {
+		o.MAC = patched.MAC
+	}
+	if len(p.Static) > 0 {
+		o.Static = patched.Static
+	}
+	if len(p.FlowPairs) > 0 {
+		o.FlowPairs = patched.FlowPairs
+	}
+	return nil
+}
+
+// Campaign is a declarative grid of simulation runs. Base supplies the
+// common scenario; each non-empty axis sweeps one dimension and the
+// grid is their cross product. An empty axis keeps the base value. Each
+// grid point is replicated Reps times (or once per SeedList entry), and
+// every run's random seed is derived deterministically from BaseSeed
+// and the run key, so results are reproducible regardless of worker
+// count or execution order.
+type Campaign struct {
+	// Name labels the campaign in specs and output.
+	Name string
+	// Base is the common scenario; axis values override its fields.
+	// Base.Seed is ignored — per-run seeds come from SeedList or
+	// DeriveSeed.
+	Base scenario.Options
+
+	// Variants is the ablation axis (named declarative patches).
+	Variants []Variant
+	// Schemes is the protocol axis.
+	Schemes []mac.Scheme
+	// LoadsKbps is the offered-load axis.
+	LoadsKbps []float64
+	// Nodes is the terminal-count axis.
+	Nodes []int
+	// SpeedsMps is the mobility axis (sets SpeedMin = SpeedMax).
+	SpeedsMps []float64
+	// ShadowingDB is the fading axis (log-normal sigma).
+	ShadowingDB []float64
+	// SafetyFactors is the PCMAC tolerance-coefficient axis.
+	SafetyFactors []float64
+
+	// Reps replicates each grid point with derived seeds (default 1).
+	Reps int
+	// SeedList, when non-empty, fixes the per-replication seeds
+	// explicitly (overrides Reps and seed derivation).
+	SeedList []int64
+	// BaseSeed feeds seed derivation (default 1).
+	BaseSeed int64
+}
+
+// Run is one fully parameterized simulation of a campaign.
+type Run struct {
+	// Index is the position in the campaign's deterministic enumeration.
+	Index int
+	// Key uniquely and stably identifies the run within the campaign;
+	// checkpoint resume matches on it.
+	Key string
+	// Variant names the ablation patch ("" when the campaign has none).
+	Variant string
+	// Rep is the replication number within the grid point.
+	Rep int
+	// Seed is the scenario seed (explicit or derived).
+	Seed int64
+	// Opts is the complete scenario configuration.
+	Opts scenario.Options
+}
+
+// PointKey is the run key without the replication suffix — the grid
+// point the run replicates.
+func (r Run) PointKey() string {
+	if i := strings.LastIndex(r.Key, "/rep="); i >= 0 {
+		return r.Key[:i]
+	}
+	return r.Key
+}
+
+// DeriveSeed maps a campaign base seed and a run key to a scenario
+// seed: FNV-1a over the key mixed with the base seed through a
+// splitmix64 finalizer. The derivation is stable across processes,
+// platforms and worker counts, and decorrelates neighbouring grid
+// points.
+func DeriveSeed(base int64, key string) int64 {
+	h := fnv.New64a()
+	h.Write([]byte(key))
+	x := h.Sum64() + uint64(base)*0x9e3779b97f4a7c15
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return int64(x & 0x7fffffffffffffff)
+}
+
+// Runs expands the campaign grid into its deterministic run list:
+// variants × schemes × loads × nodes × speeds × shadowing × safety ×
+// replications, in that nesting order.
+func (c Campaign) Runs() ([]Run, error) {
+	variants := c.Variants
+	if len(variants) == 0 {
+		variants = []Variant{{}}
+	}
+	schemes := c.Schemes
+	if len(schemes) == 0 {
+		schemes = []mac.Scheme{c.Base.Scheme}
+	}
+	loads := c.LoadsKbps
+	if len(loads) == 0 {
+		loads = []float64{c.Base.OfferedLoadKbps}
+	}
+	nodes := c.Nodes
+	if len(nodes) == 0 {
+		nodes = []int{c.Base.Nodes}
+	}
+	speeds := c.SpeedsMps
+	if len(speeds) == 0 {
+		speeds = []float64{c.Base.SpeedMax}
+	}
+	shadows := c.ShadowingDB
+	if len(shadows) == 0 {
+		shadows = []float64{c.Base.ShadowingSigmaDB}
+	}
+	safeties := c.SafetyFactors
+	if len(safeties) == 0 {
+		safeties = []float64{c.Base.SafetyFactor}
+	}
+	reps := c.Reps
+	if len(c.SeedList) > 0 {
+		reps = len(c.SeedList)
+	}
+	if reps <= 0 {
+		reps = 1
+	}
+	baseSeed := c.BaseSeed
+	if baseSeed == 0 {
+		baseSeed = 1
+	}
+
+	var runs []Run
+	seen := make(map[string]bool)
+	for _, v := range variants {
+		for _, s := range schemes {
+			for _, load := range loads {
+				if load < 0 {
+					return nil, fmt.Errorf("runner: negative load %g", load)
+				}
+				for _, n := range nodes {
+					for _, sp := range speeds {
+						for _, sh := range shadows {
+							for _, sf := range safeties {
+								for rep := 0; rep < reps; rep++ {
+									key := c.runKey(v, s, load, n, sp, sh, sf, rep)
+									if seen[key] {
+										return nil, fmt.Errorf("runner: duplicate run key %q (repeated axis value?)", key)
+									}
+									seen[key] = true
+									opts := c.Base
+									if err := v.apply(&opts); err != nil {
+										return nil, err
+									}
+									opts.Scheme = s
+									opts.OfferedLoadKbps = load
+									if len(c.Nodes) > 0 {
+										opts.Nodes = n
+									}
+									if len(c.SpeedsMps) > 0 {
+										opts.SpeedMin, opts.SpeedMax = sp, sp
+									}
+									if len(c.ShadowingDB) > 0 {
+										opts.ShadowingSigmaDB = sh
+									}
+									if len(c.SafetyFactors) > 0 {
+										opts.SafetyFactor = sf
+									}
+									seed := DeriveSeed(baseSeed, key)
+									if len(c.SeedList) > 0 {
+										seed = c.SeedList[rep]
+									}
+									opts.Seed = seed
+									if err := scenario.Validate(opts); err != nil {
+										return nil, fmt.Errorf("runner: run %s: %w", key, err)
+									}
+									runs = append(runs, Run{
+										Index:   len(runs),
+										Key:     key,
+										Variant: v.Name,
+										Rep:     rep,
+										Seed:    seed,
+										Opts:    opts,
+									})
+								}
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+	return runs, nil
+}
+
+// runKey builds the stable identifier of one run. Axes the campaign
+// does not sweep are omitted so keys stay short and resumable
+// checkpoints survive adding defaults.
+func (c Campaign) runKey(v Variant, s mac.Scheme, load float64, n int, sp, sh, sf float64, rep int) string {
+	var b strings.Builder
+	if len(c.Variants) > 0 {
+		fmt.Fprintf(&b, "v=%s/", v.Name)
+	}
+	fmt.Fprintf(&b, "s=%s/load=%g", s, load)
+	if len(c.Nodes) > 0 {
+		fmt.Fprintf(&b, "/n=%d", n)
+	}
+	if len(c.SpeedsMps) > 0 {
+		fmt.Fprintf(&b, "/sp=%g", sp)
+	}
+	if len(c.ShadowingDB) > 0 {
+		fmt.Fprintf(&b, "/sh=%g", sh)
+	}
+	if len(c.SafetyFactors) > 0 {
+		fmt.Fprintf(&b, "/sf=%g", sf)
+	}
+	fmt.Fprintf(&b, "/rep=%d", rep)
+	return b.String()
+}
+
+// SingleRun wraps one scenario as a one-run campaign Run, so ad-hoc
+// simulations (cmd/pcmacsim) can emit the same JSONL records as full
+// campaigns.
+func SingleRun(o scenario.Options) Run {
+	return Run{
+		Key:  fmt.Sprintf("s=%s/load=%g/rep=0", o.Scheme, o.OfferedLoadKbps),
+		Seed: o.Seed,
+		Opts: o,
+	}
+}

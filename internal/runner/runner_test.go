@@ -1,0 +1,569 @@
+package runner
+
+import (
+	"bytes"
+	"encoding/json"
+	"math"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/geom"
+	"repro/internal/mac"
+	"repro/internal/packet"
+	"repro/internal/scenario"
+	"repro/internal/sim"
+)
+
+// tinyBase is a two-node static link: runs complete in milliseconds.
+func tinyBase() scenario.Options {
+	return scenario.Options{
+		Static:    []geom.Point{{X: 0, Y: 0}, {X: 150, Y: 0}},
+		FlowPairs: [][2]packet.NodeID{{0, 1}},
+		Duration:  5 * sim.Second,
+		Warmup:    sim.Duration(sim.Second),
+	}
+}
+
+func tinyCampaign() Campaign {
+	return Campaign{
+		Name:      "tiny",
+		Base:      tinyBase(),
+		Schemes:   []mac.Scheme{mac.Basic, mac.PCMAC},
+		LoadsKbps: []float64{40, 80},
+		Reps:      2,
+	}
+}
+
+func TestRunsExpansion(t *testing.T) {
+	runs, err := tinyCampaign().Runs()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(runs) != 8 { // 2 schemes × 2 loads × 2 reps
+		t.Fatalf("runs = %d, want 8", len(runs))
+	}
+	keys := make(map[string]bool)
+	for i, r := range runs {
+		if r.Index != i {
+			t.Errorf("run %d has Index %d", i, r.Index)
+		}
+		if keys[r.Key] {
+			t.Errorf("duplicate key %q", r.Key)
+		}
+		keys[r.Key] = true
+		if r.Opts.Seed != r.Seed {
+			t.Errorf("run %s: Opts.Seed %d != Seed %d", r.Key, r.Opts.Seed, r.Seed)
+		}
+	}
+	if !keys["s=pcmac/load=80/rep=1"] {
+		t.Errorf("expected key missing; have %v", keys)
+	}
+
+	// Expansion is deterministic.
+	again, err := tinyCampaign().Runs()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range runs {
+		if runs[i].Key != again[i].Key || runs[i].Seed != again[i].Seed {
+			t.Fatalf("expansion not deterministic at %d: %+v vs %+v", i, runs[i], again[i])
+		}
+	}
+}
+
+func TestRunsSeedDerivation(t *testing.T) {
+	runs, err := tinyCampaign().Runs()
+	if err != nil {
+		t.Fatal(err)
+	}
+	seeds := make(map[int64]string)
+	for _, r := range runs {
+		if r.Seed <= 0 {
+			t.Errorf("run %s: non-positive derived seed %d", r.Key, r.Seed)
+		}
+		if prev, dup := seeds[r.Seed]; dup {
+			t.Errorf("seed collision between %s and %s", prev, r.Key)
+		}
+		seeds[r.Seed] = r.Key
+		if got := DeriveSeed(1, r.Key); got != r.Seed {
+			t.Errorf("run %s: seed %d, DeriveSeed gives %d", r.Key, r.Seed, got)
+		}
+	}
+
+	// A different base seed moves every run's seed.
+	c := tinyCampaign()
+	c.BaseSeed = 99
+	moved, err := c.Runs()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range moved {
+		if moved[i].Seed == runs[i].Seed {
+			t.Errorf("run %s: seed unchanged under new base seed", moved[i].Key)
+		}
+	}
+}
+
+func TestRunsSeedList(t *testing.T) {
+	c := tinyCampaign()
+	c.Reps = 0
+	c.SeedList = []int64{7, 11, 13}
+	runs, err := c.Runs()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(runs) != 12 { // 2 × 2 × 3 explicit seeds
+		t.Fatalf("runs = %d, want 12", len(runs))
+	}
+	for _, r := range runs {
+		want := c.SeedList[r.Rep]
+		if r.Seed != want {
+			t.Errorf("run %s: seed %d, want %d", r.Key, r.Seed, want)
+		}
+	}
+}
+
+func TestRunsAxes(t *testing.T) {
+	c := Campaign{
+		Base:        tinyBase(),
+		Schemes:     []mac.Scheme{mac.PCMAC},
+		LoadsKbps:   []float64{40},
+		SpeedsMps:   []float64{1, 10},
+		ShadowingDB: []float64{0, 4},
+	}
+	runs, err := c.Runs()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(runs) != 4 {
+		t.Fatalf("runs = %d, want 4", len(runs))
+	}
+	last := runs[3]
+	if last.Key != "s=pcmac/load=40/sp=10/sh=4/rep=0" {
+		t.Errorf("key = %q", last.Key)
+	}
+	if last.Opts.SpeedMin != 10 || last.Opts.SpeedMax != 10 || last.Opts.ShadowingSigmaDB != 4 {
+		t.Errorf("axis values not applied: %+v", last.Opts)
+	}
+	if got := last.PointKey(); got != "s=pcmac/load=40/sp=10/sh=4" {
+		t.Errorf("PointKey = %q", got)
+	}
+}
+
+func TestVariantPatch(t *testing.T) {
+	c := Campaign{
+		Base:      tinyBase(),
+		Schemes:   []mac.Scheme{mac.PCMAC},
+		LoadsKbps: []float64{40},
+		Variants: []Variant{
+			{Name: "stock"},
+			{Name: "no-ctrl", Patch: scenario.FileConfig{DisableCtrlChannel: true}},
+			{Name: "expiry=1s", Patch: scenario.FileConfig{HistoryExpiryS: 1}},
+		},
+	}
+	runs, err := c.Runs()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(runs) != 3 {
+		t.Fatalf("runs = %d, want 3", len(runs))
+	}
+	if runs[0].Opts.DisableCtrlChannel || runs[0].Opts.HistoryExpiry != tinyBase().HistoryExpiry {
+		t.Errorf("stock variant mutated: %+v", runs[0].Opts)
+	}
+	if !runs[1].Opts.DisableCtrlChannel {
+		t.Error("no-ctrl patch not applied")
+	}
+	if runs[2].Opts.HistoryExpiry != sim.DurationOf(1) {
+		t.Errorf("expiry patch not applied: %v", runs[2].Opts.HistoryExpiry)
+	}
+	if !strings.HasPrefix(runs[1].Key, "v=no-ctrl/") {
+		t.Errorf("variant missing from key %q", runs[1].Key)
+	}
+}
+
+func TestDuplicateAxisValueRejected(t *testing.T) {
+	c := tinyCampaign()
+	c.LoadsKbps = []float64{40, 40}
+	if _, err := c.Runs(); err == nil {
+		t.Fatal("duplicate load accepted")
+	}
+}
+
+// TestExecuteDeterministicAcrossWorkers is the tentpole invariant: the
+// JSONL stream and the OnResult order are byte/value-identical whether
+// the campaign ran serially or on a full worker pool.
+func TestExecuteDeterministicAcrossWorkers(t *testing.T) {
+	var serial, parallel bytes.Buffer
+	var serialKeys, parallelKeys []string
+
+	sum1, err := Execute(tinyCampaign(), ExecOptions{
+		Workers: 1,
+		Out:     &serial,
+		OnResult: func(run Run, r Result) {
+			serialKeys = append(serialKeys, run.Key)
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sumN, err := Execute(tinyCampaign(), ExecOptions{
+		Workers: 8,
+		Out:     &parallel,
+		OnResult: func(run Run, r Result) {
+			parallelKeys = append(parallelKeys, run.Key)
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum1.Executed != 8 || sumN.Executed != 8 {
+		t.Fatalf("executed %d/%d, want 8/8", sum1.Executed, sumN.Executed)
+	}
+	if !bytes.Equal(serial.Bytes(), parallel.Bytes()) {
+		t.Errorf("JSONL differs between 1 and 8 workers:\n--- serial ---\n%s--- parallel ---\n%s",
+			serial.String(), parallel.String())
+	}
+	for i := range serialKeys {
+		if serialKeys[i] != parallelKeys[i] {
+			t.Fatalf("OnResult order differs at %d: %s vs %s", i, serialKeys[i], parallelKeys[i])
+		}
+	}
+}
+
+func TestExecuteResume(t *testing.T) {
+	var full bytes.Buffer
+	if _, err := Execute(tinyCampaign(), ExecOptions{Out: &full}); err != nil {
+		t.Fatal(err)
+	}
+	results, err := LoadResults(bytes.NewReader(full.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 8 {
+		t.Fatalf("results = %d, want 8", len(results))
+	}
+
+	// Resume with the first half checkpointed: only the rest executes,
+	// the aggregate over OnResult matches the full run exactly.
+	completed := ResumeSet(results[:4])
+	var rest bytes.Buffer
+	var meanT float64
+	sum, err := Execute(tinyCampaign(), ExecOptions{
+		Out:       &rest,
+		Completed: completed,
+		OnResult:  func(run Run, r Result) { meanT += r.ThroughputKbps / 8 },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum.Skipped != 4 || sum.Executed != 4 || sum.Total != 8 {
+		t.Fatalf("summary = %+v, want 4 skipped / 4 executed of 8", sum)
+	}
+	restResults, err := LoadResults(bytes.NewReader(rest.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(restResults) != 4 {
+		t.Fatalf("re-executed results = %d, want 4", len(restResults))
+	}
+	for i, r := range restResults {
+		if r.Key != results[4+i].Key {
+			t.Errorf("resumed run %d key = %q, want %q", i, r.Key, results[4+i].Key)
+		}
+	}
+
+	var wantMean float64
+	for _, r := range results {
+		wantMean += r.ThroughputKbps / 8
+	}
+	if math.Abs(meanT-wantMean) > 1e-9 {
+		t.Errorf("resumed aggregate mean = %g, fresh = %g", meanT, wantMean)
+	}
+}
+
+func TestLoadCheckpointFile(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "results.jsonl")
+
+	// Missing file is an empty checkpoint.
+	cp, err := LoadCheckpoint(path)
+	if err != nil || cp != nil {
+		t.Fatalf("missing checkpoint: %v, %v", cp, err)
+	}
+
+	var buf bytes.Buffer
+	if _, err := Execute(tinyCampaign(), ExecOptions{Out: &buf}); err != nil {
+		t.Fatal(err)
+	}
+	// A truncated final line (crash mid-write) is dropped, not fatal.
+	trunc := buf.Bytes()[:buf.Len()-20]
+	if err := os.WriteFile(path, trunc, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	cp, err = LoadCheckpoint(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cp) != 7 {
+		t.Fatalf("checkpoint entries = %d, want 7", len(cp))
+	}
+}
+
+func TestExecuteRejectsStaleCheckpoint(t *testing.T) {
+	var full bytes.Buffer
+	if _, err := Execute(tinyCampaign(), ExecOptions{Out: &full}); err != nil {
+		t.Fatal(err)
+	}
+	results, err := LoadResults(bytes.NewReader(full.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Same keys, different base seed: every derived seed moves, so the
+	// checkpoint must be rejected rather than silently reused.
+	c := tinyCampaign()
+	c.BaseSeed = 99
+	if _, err := Execute(c, ExecOptions{Completed: ResumeSet(results)}); err == nil {
+		t.Fatal("checkpoint from a different base seed accepted")
+	}
+
+	// Same seeds, different horizon: also rejected.
+	c = tinyCampaign()
+	c.Base.Duration = 10 * sim.Second
+	c.Base.Warmup = sim.Duration(sim.Second)
+	if _, err := Execute(c, ExecOptions{Completed: ResumeSet(results)}); err == nil {
+		t.Fatal("checkpoint from a different duration accepted")
+	}
+}
+
+func TestRepairCheckpoint(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "r.jsonl")
+
+	if err := RepairCheckpoint(filepath.Join(dir, "missing.jsonl")); err != nil {
+		t.Fatalf("missing file: %v", err)
+	}
+
+	whole := `{"key":"a"}` + "\n"
+	if err := os.WriteFile(path, []byte(whole+`{"key":"b","trunc`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := RepairCheckpoint(path); err != nil {
+		t.Fatal(err)
+	}
+	b, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(b) != whole {
+		t.Fatalf("repaired file = %q, want %q", b, whole)
+	}
+	// Repairing an intact file is a no-op.
+	if err := RepairCheckpoint(path); err != nil {
+		t.Fatal(err)
+	}
+	if b, _ := os.ReadFile(path); string(b) != whole {
+		t.Fatalf("intact file modified: %q", b)
+	}
+}
+
+func TestRunsRejectsInvalidExpansion(t *testing.T) {
+	c := tinyCampaign()
+	c.Base.Static = nil
+	c.Base.FlowPairs = nil
+	c.Nodes = []int{-5}
+	if _, err := c.Runs(); err == nil {
+		t.Fatal("negative node count accepted")
+	}
+	c = tinyCampaign()
+	c.Variants = []Variant{{Name: "bad", Patch: scenario.FileConfig{WarmupS: 50}}}
+	if _, err := c.Runs(); err == nil {
+		t.Fatal("warmup beyond duration accepted")
+	}
+}
+
+func TestLoadResultsRejectsInteriorGarbage(t *testing.T) {
+	in := `{"key":"a"}` + "\nnot json\n" + `{"key":"b"}` + "\n"
+	if _, err := LoadResults(strings.NewReader(in)); err == nil {
+		t.Fatal("interior garbage accepted")
+	}
+}
+
+func TestExecuteProgress(t *testing.T) {
+	var dones []int
+	_, err := Execute(tinyCampaign(), ExecOptions{
+		Workers:  4,
+		Progress: func(done, total int) { dones = append(dones, done) },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(dones) != 8 {
+		t.Fatalf("progress calls = %d, want 8", len(dones))
+	}
+	for i, d := range dones {
+		if d != i+1 {
+			t.Fatalf("progress out of order: %v", dones)
+		}
+	}
+}
+
+func TestAggregate(t *testing.T) {
+	agg := NewAggregate()
+	var out bytes.Buffer
+	if _, err := Execute(tinyCampaign(), ExecOptions{Out: &out, OnResult: agg.Add}); err != nil {
+		t.Fatal(err)
+	}
+	pts := agg.Points()
+	if len(pts) != 4 { // 2 schemes × 2 loads, reps folded
+		t.Fatalf("points = %d, want 4", len(pts))
+	}
+	for _, p := range pts {
+		if p.Throughput.N() != 2 {
+			t.Errorf("point %s has %d samples, want 2", p.Label, p.Throughput.N())
+		}
+		// Unsaturated single link: throughput tracks offered load.
+		load := 40.0
+		if strings.Contains(p.Label, "load=80") {
+			load = 80
+		}
+		if m := p.Throughput.Mean(); m < load*0.9 || m > load*1.1 {
+			t.Errorf("point %s throughput = %.1f, want ≈%.0f", p.Label, m, load)
+		}
+	}
+	var tbl, csv bytes.Buffer
+	if err := agg.WriteTable(&tbl); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(tbl.String(), "s=pcmac/load=80") {
+		t.Errorf("table missing point label:\n%s", tbl.String())
+	}
+	if err := agg.WriteCSV(&csv); err != nil {
+		t.Fatal(err)
+	}
+	if lines := strings.Split(strings.TrimSpace(csv.String()), "\n"); len(lines) != 5 {
+		t.Errorf("csv lines = %d, want header + 4", len(lines))
+	}
+}
+
+func TestCampaignFileRoundTrip(t *testing.T) {
+	c := Campaign{
+		Name: "rt",
+		Base: scenario.Options{
+			Scheme:   mac.PCMAC,
+			Nodes:    10,
+			Duration: 5 * sim.Second,
+			Warmup:   sim.Duration(sim.Second),
+		},
+		Schemes:       []mac.Scheme{mac.Basic, mac.PCMAC},
+		LoadsKbps:     []float64{100, 200},
+		SpeedsMps:     []float64{1, 3},
+		SafetyFactors: []float64{0.5, 0.9},
+		Variants:      []Variant{{Name: "x", Patch: scenario.FileConfig{DisableThreeWay: true}}},
+		Reps:          3,
+		BaseSeed:      42,
+	}
+	b, err := json.Marshal(c.File())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var cf CampaignFile
+	if err := json.Unmarshal(b, &cf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := cf.Campaign()
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantRuns, err := c.Runs()
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotRuns, err := back.Runs()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(gotRuns) != len(wantRuns) {
+		t.Fatalf("round-trip runs = %d, want %d", len(gotRuns), len(wantRuns))
+	}
+	for i := range wantRuns {
+		if gotRuns[i].Key != wantRuns[i].Key || gotRuns[i].Seed != wantRuns[i].Seed {
+			t.Errorf("round-trip run %d: %s/%d, want %s/%d",
+				i, gotRuns[i].Key, gotRuns[i].Seed, wantRuns[i].Key, wantRuns[i].Seed)
+		}
+	}
+}
+
+func TestLoadCampaignSpec(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "spec.json")
+	spec := `{
+		"name": "mini",
+		"base": {"scheme": "basic", "duration_s": 5, "warmup_s": 1,
+		         "static": [[0,0],[150,0]], "flow_pairs": [[0,1]]},
+		"schemes": ["basic", "pcmac"],
+		"loads_kbps": [40],
+		"reps": 2
+	}`
+	if err := os.WriteFile(path, []byte(spec), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	c, err := LoadCampaign(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	runs, err := c.Runs()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(runs) != 4 {
+		t.Fatalf("spec runs = %d, want 4", len(runs))
+	}
+	if len(runs[0].Opts.Static) != 2 {
+		t.Errorf("spec static topology lost: %+v", runs[0].Opts)
+	}
+}
+
+func TestPresetsExpand(t *testing.T) {
+	for _, name := range PresetNames() {
+		c, err := Preset(name, 5, 2, []float64{40})
+		if err != nil {
+			t.Fatalf("preset %s: %v", name, err)
+		}
+		runs, err := c.Runs()
+		if err != nil {
+			t.Fatalf("preset %s: %v", name, err)
+		}
+		if len(runs) == 0 {
+			t.Errorf("preset %s expands to zero runs", name)
+		}
+	}
+	if _, err := Preset("nope", 5, 1, nil); err == nil {
+		t.Error("unknown preset accepted")
+	}
+	if _, err := Ablation("nope", tinyBase(), []float64{40}, []int64{1}); err == nil {
+		t.Error("unknown ablation accepted")
+	}
+}
+
+func TestSingleRunRecord(t *testing.T) {
+	opts := tinyBase()
+	opts.Scheme = mac.PCMAC
+	opts.OfferedLoadKbps = 40
+	opts.Seed = 3
+	run := SingleRun(opts)
+	res, err := scenario.Run(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := ResultOf(run, res)
+	if rec.Scheme != "pcmac" || rec.LoadKbps != 40 || rec.Seed != 3 {
+		t.Errorf("record = %+v", rec)
+	}
+	if rec.ThroughputKbps <= 0 {
+		t.Errorf("throughput = %g", rec.ThroughputKbps)
+	}
+}

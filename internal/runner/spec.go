@@ -1,0 +1,114 @@
+package runner
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+
+	"repro/internal/mac"
+	"repro/internal/scenario"
+)
+
+// CampaignFile is the JSON form of a Campaign, so whole evaluation
+// grids live in version-controlled spec files:
+//
+//	{
+//	  "name": "fig8",
+//	  "base": {"scheme": "basic", "duration_s": 100, "warmup_s": 5},
+//	  "schemes": ["basic", "pcmac", "scheme1", "scheme2"],
+//	  "loads_kbps": [200, 300, 400, 500],
+//	  "reps": 3
+//	}
+type CampaignFile struct {
+	Name          string              `json:"name"`
+	Base          scenario.FileConfig `json:"base"`
+	Variants      []Variant           `json:"variants,omitempty"`
+	Schemes       []string            `json:"schemes,omitempty"`
+	LoadsKbps     []float64           `json:"loads_kbps,omitempty"`
+	Nodes         []int               `json:"nodes,omitempty"`
+	SpeedsMps     []float64           `json:"speeds_mps,omitempty"`
+	ShadowingDB   []float64           `json:"shadowing_db,omitempty"`
+	SafetyFactors []float64           `json:"safety_factors,omitempty"`
+	Reps          int                 `json:"reps,omitempty"`
+	SeedList      []int64             `json:"seed_list,omitempty"`
+	BaseSeed      int64               `json:"base_seed,omitempty"`
+}
+
+// Campaign converts the file form to a runnable Campaign.
+func (cf CampaignFile) Campaign() (Campaign, error) {
+	base := cf.Base
+	if base.Scheme == "" {
+		// The base scheme is irrelevant when a schemes axis is given;
+		// FileConfig.Options still needs a valid name.
+		base.Scheme = mac.Basic.String()
+	}
+	opts, err := base.Options()
+	if err != nil {
+		return Campaign{}, fmt.Errorf("runner: spec %q: %w", cf.Name, err)
+	}
+	c := Campaign{
+		Name:          cf.Name,
+		Base:          opts,
+		Variants:      cf.Variants,
+		LoadsKbps:     cf.LoadsKbps,
+		Nodes:         cf.Nodes,
+		SpeedsMps:     cf.SpeedsMps,
+		ShadowingDB:   cf.ShadowingDB,
+		SafetyFactors: cf.SafetyFactors,
+		Reps:          cf.Reps,
+		SeedList:      cf.SeedList,
+		BaseSeed:      cf.BaseSeed,
+	}
+	for _, name := range cf.Schemes {
+		s, err := mac.ParseScheme(name)
+		if err != nil {
+			return Campaign{}, fmt.Errorf("runner: spec %q: %w", cf.Name, err)
+		}
+		c.Schemes = append(c.Schemes, s)
+	}
+	return c, nil
+}
+
+// File converts a Campaign to its JSON file form (inverse of
+// CampaignFile.Campaign for the representable fields).
+func (c Campaign) File() CampaignFile {
+	cf := CampaignFile{
+		Name:          c.Name,
+		Base:          scenario.ToFileConfig(c.Base),
+		Variants:      c.Variants,
+		LoadsKbps:     c.LoadsKbps,
+		Nodes:         c.Nodes,
+		SpeedsMps:     c.SpeedsMps,
+		ShadowingDB:   c.ShadowingDB,
+		SafetyFactors: c.SafetyFactors,
+		Reps:          c.Reps,
+		SeedList:      c.SeedList,
+		BaseSeed:      c.BaseSeed,
+	}
+	for _, s := range c.Schemes {
+		cf.Schemes = append(cf.Schemes, s.String())
+	}
+	return cf
+}
+
+// LoadCampaign reads a campaign spec from a JSON file.
+func LoadCampaign(path string) (Campaign, error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return Campaign{}, fmt.Errorf("runner: %w", err)
+	}
+	var cf CampaignFile
+	if err := json.Unmarshal(b, &cf); err != nil {
+		return Campaign{}, fmt.Errorf("runner: parsing %s: %w", path, err)
+	}
+	return cf.Campaign()
+}
+
+// SaveCampaign writes the campaign spec as indented JSON.
+func SaveCampaign(path string, c Campaign) error {
+	b, err := json.MarshalIndent(c.File(), "", "  ")
+	if err != nil {
+		return fmt.Errorf("runner: %w", err)
+	}
+	return os.WriteFile(path, append(b, '\n'), 0o644)
+}

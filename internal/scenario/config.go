@@ -93,12 +93,19 @@ func (fc FileConfig) Options() (Options, error) {
 	return o, nil
 }
 
+// Validate rejects configurations that would only fail (or silently
+// run with an empty measurement window) deep inside a run. Zero fields
+// are legal — they take the paper's defaults.
+func Validate(o Options) error { return validate(o) }
+
 // validate rejects configurations that would only fail deep inside a
 // run.
 func validate(o Options) error {
 	switch {
 	case o.Nodes < 0 || o.Flows < 0:
 		return fmt.Errorf("scenario: negative nodes/flows")
+	case o.Nodes == 1 && len(o.Static) == 0:
+		return fmt.Errorf("scenario: need at least two nodes for a flow")
 	case o.OfferedLoadKbps < 0:
 		return fmt.Errorf("scenario: negative offered load")
 	case o.Duration < 0 || o.Warmup < 0:

@@ -226,5 +226,33 @@ func (s *Series) StdDev() float64 {
 	return math.Sqrt(ss / float64(n-1))
 }
 
+// Min returns the smallest value (0 for an empty series).
+func (s *Series) Min() float64 {
+	if len(s.vals) == 0 {
+		return 0
+	}
+	m := s.vals[0]
+	for _, v := range s.vals[1:] {
+		if v < m {
+			m = v
+		}
+	}
+	return m
+}
+
+// Max returns the largest value (0 for an empty series).
+func (s *Series) Max() float64 {
+	if len(s.vals) == 0 {
+		return 0
+	}
+	m := s.vals[0]
+	for _, v := range s.vals[1:] {
+		if v > m {
+			m = v
+		}
+	}
+	return m
+}
+
 // N returns the sample count.
 func (s *Series) N() int { return len(s.vals) }

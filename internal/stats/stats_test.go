@@ -158,6 +158,22 @@ func TestSeries(t *testing.T) {
 	}
 }
 
+func TestSeriesMinMax(t *testing.T) {
+	var s Series
+	if s.Min() != 0 || s.Max() != 0 {
+		t.Fatal("empty series min/max not zero")
+	}
+	for _, v := range []float64{5, -2, 9, 3} {
+		s.Append(v)
+	}
+	if s.Min() != -2 {
+		t.Fatalf("min = %v", s.Min())
+	}
+	if s.Max() != 9 {
+		t.Fatalf("max = %v", s.Max())
+	}
+}
+
 func TestPropertyThroughputScalesWithDeliveries(t *testing.T) {
 	f := func(n uint8) bool {
 		c := NewCollector(0)
