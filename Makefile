@@ -2,7 +2,13 @@
 # is what CI runs.
 GO ?= go
 
-.PHONY: all build test bench lint fmt
+# Hot-path microbenchmarks tracked by the perf trajectory (bench-json)
+# and the CI benchstat delta; ci.yml consumes them via the bench-micro
+# and bench-json targets, so this regex is the single source of truth.
+MICRO_BENCH = BenchmarkSchedulerChurn|BenchmarkTimerChurn|BenchmarkSchedulerFanOut|BenchmarkChannelTransmit|BenchmarkRadioArrivals
+BENCH_DATE ?= $(shell date +%Y-%m-%d)
+
+.PHONY: all build test bench bench-micro bench-json lint fmt
 
 all: lint build test
 
@@ -14,6 +20,24 @@ test:
 
 bench:
 	$(GO) test -bench=. -benchtime=1x -run='^$$' -timeout 30m ./...
+
+# bench-micro runs the inner-loop benchmarks with allocation tracking at
+# a statistically useful iteration count (unlike the 1x smoke pass).
+bench-micro:
+	$(GO) test -run='^$$' -bench='$(MICRO_BENCH)' -benchmem ./internal/sim/ ./internal/phys/
+
+# bench-json snapshots the perf trajectory: micro benchmarks (real
+# iteration counts, -benchmem) plus the figure benchmarks (one full
+# simulation each, with their J/kbps/pdr metrics), serialised to
+# BENCH_<date>.json. CI uploads the file as an artifact; comparing dated
+# files across commits is the regression record.
+bench-json:
+	@tmp=$$(mktemp); \
+	{ $(GO) test -run='^$$' -bench='$(MICRO_BENCH)' -benchmem ./internal/sim/ ./internal/phys/ && \
+	  $(GO) test -run='^$$' -bench=. -benchtime=1x -timeout 30m . ; } > $$tmp || \
+	  { cat $$tmp; rm -f $$tmp; echo "bench-json: benchmark run failed" >&2; exit 1; }; \
+	$(GO) run ./cmd/benchjson -date $(BENCH_DATE) -out BENCH_$(BENCH_DATE).json < $$tmp; \
+	rc=$$?; rm -f $$tmp; exit $$rc
 
 lint:
 	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then echo "gofmt needed on:" >&2; echo "$$out" >&2; exit 1; fi

@@ -35,11 +35,49 @@ func (t *Transmission) String() string {
 	return fmt.Sprintf("tx#%d from r%d %.1fmW %dbits @%v", t.Seq, t.From.ID(), t.PowerW*1e3, t.Bits, t.Start)
 }
 
+// Ranger is an optional Propagation capability: models that can invert
+// ReceivedPower report the distance at which a given transmit power
+// decays to a threshold. The channel uses it to derive a squared-distance
+// delivery cutoff so out-of-range radios are pruned with one geom.Dist2
+// comparison instead of a full propagation evaluation.
+type Ranger interface {
+	RangeForTxPower(txPower, thresh float64) float64
+}
+
+// linkEntry is one receiver in a transmitter's cached link row: the
+// received power at the row's transmit power (the deterministic mean
+// when the channel fades), and the speed-of-light propagation delay.
+type linkEntry struct {
+	to    *Radio
+	prW   float64
+	delay sim.Duration
+}
+
+// linkRow caches, for one (transmitter, power level) pair, the set of
+// radios a frame can reach and the per-link mean gain and delay. Rows
+// are built lazily on first transmit and reused while the position epoch
+// (and the channel's radio set) is unchanged.
+type linkRow struct {
+	epoch     uint64
+	attachGen uint64
+	cutoff2   float64 // squared delivery-cutoff distance, 0 when unused
+	entries   []linkEntry
+}
+
 // Channel is a shared broadcast medium: every transmission deposits
 // power at every attached radio according to the propagation model, with
 // speed-of-light delay. PCMAC's separate power-control channel is simply
 // a second Channel holding the same radios' twins (paper assumption 1:
 // the two channels do not interfere but share propagation behaviour).
+//
+// The hot path is cached: per (transmitter, power level), the channel
+// keeps a link row of in-range receivers with their mean gain and
+// propagation delay, so a transmit walks a pruned neighbor slice instead
+// of evaluating the propagation model against every radio. Rows are
+// invalidated by the position epoch (SetPositionEpoch) and by radio
+// attachment; with no epoch source the channel assumes positions may
+// change at any time and rebuilds the transmitter's row per frame, which
+// preserves exact semantics at the pre-cache cost.
 type Channel struct {
 	sched *sim.Scheduler
 	model Propagation
@@ -47,6 +85,26 @@ type Channel struct {
 
 	radios []*Radio
 	seq    uint64
+
+	// fade is non-nil when model is a *Shadowing: rows then cache the
+	// deterministic mean from the base model and each delivery applies a
+	// fresh dB draw, so fading sweeps keep their per-frame variation
+	// (and their exact RNG stream) while still skipping the geometry.
+	fade *Shadowing
+
+	// posEpoch reports the current position epoch; nil means unknown
+	// mobility (every instant is a new epoch). Same epoch promises all
+	// radio positions unchanged.
+	posEpoch func() uint64
+
+	// attachGen invalidates rows when radios attach after rows built.
+	attachGen uint64
+
+	// cacheOff disables link rows entirely (ablation/verification).
+	cacheOff bool
+
+	// scratch is the row reused for epoch-less (assume-mobile) builds.
+	scratch linkRow
 
 	// deliverFloorW prunes deliveries below the carrier-sense
 	// threshold. This matches the ns-2 PHY the paper used: frames too
@@ -60,12 +118,16 @@ type Channel struct {
 // NewChannel creates an empty channel using the given propagation model
 // and constants.
 func NewChannel(sched *sim.Scheduler, model Propagation, par Params) *Channel {
-	return &Channel{
+	c := &Channel{
 		sched:         sched,
 		model:         model,
 		par:           par,
 		deliverFloorW: par.CsThreshW,
 	}
+	if sh, ok := model.(*Shadowing); ok {
+		c.fade = sh
+	}
+	return c
 }
 
 // Params returns the channel's physical constants.
@@ -77,23 +139,119 @@ func (c *Channel) Model() Propagation { return c.model }
 // Scheduler returns the event scheduler the channel runs on.
 func (c *Channel) Scheduler() *sim.Scheduler { return c.sched }
 
+// SetPositionEpoch installs the position-epoch source. The contract: as
+// long as fn returns the same value, every attached radio's position is
+// unchanged. Static topologies pass a constant; mobile scenarios pass a
+// mobility.Epochs counter. Without a source the channel assumes any
+// instant may have moved every node.
+func (c *Channel) SetPositionEpoch(fn func() uint64) { c.posEpoch = fn }
+
+// SetLinkCache enables or disables the link-row cache. Disabling forces
+// the per-frame full propagation walk; results are identical either way
+// (the cache-soundness tests rely on this), only speed differs.
+func (c *Channel) SetLinkCache(enabled bool) { c.cacheOff = !enabled }
+
 // AttachRadio creates a radio on this channel at the position reported
 // by pos (sampled lazily, so mobile nodes just pass their position
 // function) and delivers events to h.
 func (c *Channel) AttachRadio(id int, pos func() geom.Point, h Handler) *Radio {
 	r := &Radio{
-		ch:       c,
-		id:       id,
-		pos:      pos,
-		h:        h,
-		arrivals: make(map[*Transmission]*arrival),
+		ch:      c,
+		id:      id,
+		pos:     pos,
+		h:       h,
+		current: -1,
 	}
 	c.radios = append(c.radios, r)
+	c.attachGen++ // existing cached rows no longer cover the new radio
 	return r
 }
 
 // Radios returns all radios attached to the channel.
 func (c *Channel) Radios() []*Radio { return c.radios }
+
+// buildRow fills row with the link entries for radio r transmitting at
+// powerW, using positions sampled now.
+func (c *Channel) buildRow(row *linkRow, r *Radio, powerW float64) {
+	row.entries = row.entries[:0]
+	row.attachGen = c.attachGen
+	src := r.pos()
+	if c.fade != nil {
+		// Fading: the floor check depends on the per-delivery draw, so
+		// every radio stays in the row and only the deterministic mean
+		// is cached. (A mean-based cutoff would change which frames a
+		// lucky fade can deliver — and desync the RNG stream.)
+		row.cutoff2 = 0
+		for _, o := range c.radios {
+			if o == r {
+				continue
+			}
+			dist := src.Dist(o.pos())
+			row.entries = append(row.entries, linkEntry{
+				to:    o,
+				prW:   c.fade.MeanReceivedPower(powerW, dist),
+				delay: sim.DurationOf(dist / SpeedOfLight),
+			})
+		}
+		return
+	}
+	// Deterministic model: prune to radios that can sense the frame.
+	// When the model can invert itself, a squared-distance cutoff skips
+	// the propagation evaluation for far radios; the tiny relative slack
+	// keeps radios at the exact boundary inside the exact pr-vs-floor
+	// check below, so pruning never changes which radios deliver.
+	row.cutoff2 = 0
+	if rg, ok := c.model.(Ranger); ok {
+		cut := rg.RangeForTxPower(powerW, c.deliverFloorW) * (1 + 1e-9)
+		row.cutoff2 = cut * cut
+	}
+	for _, o := range c.radios {
+		if o == r {
+			continue
+		}
+		p := o.pos()
+		if row.cutoff2 > 0 && src.Dist2(p) > row.cutoff2 {
+			continue
+		}
+		dist := src.Dist(p)
+		pr := c.model.ReceivedPower(powerW, dist)
+		if pr < c.deliverFloorW {
+			continue
+		}
+		row.entries = append(row.entries, linkEntry{
+			to:    o,
+			prW:   pr,
+			delay: sim.DurationOf(dist / SpeedOfLight),
+		})
+	}
+}
+
+// linkRowFor returns the (possibly cached) link row for r at powerW.
+func (c *Channel) linkRowFor(r *Radio, powerW float64) *linkRow {
+	if c.posEpoch == nil {
+		// Unknown mobility: rebuild into the shared scratch row. Same
+		// work as the pre-cache walk, reusing one backing array.
+		c.buildRow(&c.scratch, r, powerW)
+		return &c.scratch
+	}
+	epoch := c.posEpoch()
+	if r.rows == nil {
+		r.rows = make(map[float64]*linkRow)
+	}
+	row := r.rows[powerW]
+	if row == nil {
+		row = &linkRow{}
+		r.rows[powerW] = row
+		c.buildRow(row, r, powerW)
+		row.epoch = epoch
+		return row
+	}
+	if row.epoch != epoch || row.attachGen != c.attachGen {
+		c.buildRow(row, r, powerW)
+		row.epoch = epoch
+	}
+	return row
+}
 
 // transmit starts a frame on the air from r. It is called by
 // Radio.Transmit, which validates state.
@@ -109,19 +267,47 @@ func (c *Channel) transmit(r *Radio, powerW float64, bits int, dur sim.Duration,
 		Payload:  payload,
 		SrcPos:   r.pos(),
 	}
+	if c.cacheOff {
+		c.transmitUncached(tx)
+		return tx
+	}
+	row := c.linkRowFor(r, powerW)
+	if c.fade != nil {
+		for i := range row.entries {
+			en := &row.entries[i]
+			pr := en.prW * c.fade.Fade()
+			if pr < c.deliverFloorW {
+				continue
+			}
+			c.sched.ScheduleEvent(en.delay, en.to, evBeginArrival, tx, pr)
+			c.sched.ScheduleEvent(en.delay+dur, en.to, evEndArrival, tx, 0)
+		}
+		return tx
+	}
+	for i := range row.entries {
+		en := &row.entries[i]
+		c.sched.ScheduleEvent(en.delay, en.to, evBeginArrival, tx, en.prW)
+		c.sched.ScheduleEvent(en.delay+dur, en.to, evEndArrival, tx, 0)
+	}
+	return tx
+}
+
+// transmitUncached is the reference delivery path: evaluate the full
+// propagation model against every radio, per frame. It must stay
+// behaviourally identical to the cached path — the link-cache soundness
+// tests diff whole simulations between the two.
+func (c *Channel) transmitUncached(tx *Transmission) {
 	for _, o := range c.radios {
-		if o == r {
+		if o == tx.From {
 			continue
 		}
 		dist := tx.SrcPos.Dist(o.pos())
-		pr := c.model.ReceivedPower(powerW, dist)
+		pr := c.model.ReceivedPower(tx.PowerW, dist)
 		if pr < c.deliverFloorW {
 			continue
 		}
 		delay := sim.DurationOf(dist / SpeedOfLight)
-		o := o
-		c.sched.Schedule(delay, func() { o.beginArrival(tx, pr) })
-		c.sched.Schedule(delay+dur, func() { o.endArrival(tx) })
+		c.sched.ScheduleEvent(delay, o, evBeginArrival, tx, pr)
+		c.sched.ScheduleEvent(delay+tx.Duration, o, evEndArrival, tx, 0)
 	}
-	return tx
 }

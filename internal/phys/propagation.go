@@ -25,6 +25,15 @@ func NewFreeSpace(p Params) *FreeSpace { return &FreeSpace{p: p} }
 // Name implements Propagation.
 func (*FreeSpace) Name() string { return "freespace" }
 
+// RangeForTxPower implements Ranger: the distance at which received
+// power decays to thresh.
+func (f *FreeSpace) RangeForTxPower(txPower, thresh float64) float64 {
+	lambda := f.p.Wavelength()
+	k := txPower * f.p.TxAntennaGain * f.p.RxAntennaGain * lambda * lambda /
+		(16 * math.Pi * math.Pi * f.p.SystemLoss)
+	return math.Sqrt(k / thresh)
+}
+
 // ReceivedPower implements Propagation. At zero distance it returns the
 // transmit power (the self-reception degenerate case never used by the
 // channel, which skips the sender).

@@ -29,6 +29,15 @@ type Handler interface {
 	RadioTxDone(tx *Transmission)
 }
 
+// Typed event kinds dispatched to Radio.HandleEvent. Using typed events
+// instead of closures keeps the two-per-receiver-per-frame arrival
+// events allocation-free (they ride the scheduler's event pool).
+const (
+	evBeginArrival int32 = iota
+	evEndArrival
+	evTxDone
+)
+
 // arrival is the per-radio bookkeeping for one in-flight transmission.
 type arrival struct {
 	tx     *Transmission
@@ -43,6 +52,13 @@ type arrival struct {
 // it locks onto the first decodable arrival, accumulates all other
 // arriving power as interference, and delivers the frame corrupted if
 // the worst-case SINR during the lock fell below the capture ratio.
+//
+// Arrivals live in a small slice ordered by arrival time and the in-band
+// power sum is maintained incrementally. That fixes the summation order
+// — the previous map-backed implementation summed float64 power in Go's
+// randomised map iteration order, which can round differently between
+// runs and silently break byte-identical reproducibility — and makes
+// the begin/end bookkeeping allocation-free.
 type Radio struct {
 	ch  *Channel
 	id  int
@@ -52,8 +68,17 @@ type Radio struct {
 	txUntil   sim.Time // end of own transmission, 0 when idle
 	currentTx *Transmission
 
-	current  *arrival // locked arrival, nil when none
-	arrivals map[*Transmission]*arrival
+	// arrivals holds in-flight frames in arrival order; current indexes
+	// the locked arrival (-1 when none). totalW is the incrementally
+	// maintained sum of all arrival powers, reset to exactly zero when
+	// the last arrival ends so rounding drift cannot accumulate across
+	// quiet periods.
+	arrivals []arrival
+	current  int
+	totalW   float64
+
+	// rows caches this radio's outgoing link rows per power level.
+	rows map[float64]*linkRow
 
 	busy bool // last carrier state reported to the handler
 
@@ -75,41 +100,51 @@ func (r *Radio) Channel() *Channel { return r.ch }
 func (r *Radio) Transmitting() bool { return r.txUntil > r.ch.sched.Now() }
 
 // Receiving reports whether the radio is locked onto a frame.
-func (r *Radio) Receiving() bool { return r.current != nil }
+func (r *Radio) Receiving() bool { return r.current >= 0 }
 
 // CurrentRxPower returns the locked frame's received power, or 0 when
 // the radio is not receiving.
 func (r *Radio) CurrentRxPower() float64 {
-	if r.current == nil {
+	if r.current < 0 {
 		return 0
 	}
-	return r.current.powerW
+	return r.arrivals[r.current].powerW
 }
 
-// Interference returns the summed power of all non-locked arrivals.
+// Interference returns the summed power of all non-locked arrivals. The
+// value is derived from the maintained total, so it is independent of
+// arrival storage order and identical across runs.
 func (r *Radio) Interference() float64 {
-	var sum float64
-	for _, a := range r.arrivals {
-		if !a.locked {
-			sum += a.powerW
-		}
+	if r.current < 0 {
+		return r.totalW
 	}
-	return sum
+	return r.totalW - r.arrivals[r.current].powerW
 }
 
 // TotalPower returns all in-band power at the antenna.
-func (r *Radio) TotalPower() float64 {
-	var sum float64
-	for _, a := range r.arrivals {
-		sum += a.powerW
-	}
-	return sum
-}
+func (r *Radio) TotalPower() float64 { return r.totalW }
 
 // CarrierBusy reports physical carrier sense: own transmission, or total
 // in-band power at or above the carrier-sense threshold.
 func (r *Radio) CarrierBusy() bool {
 	return r.Transmitting() || r.TotalPower() >= r.ch.par.CsThreshW
+}
+
+// HandleEvent implements sim.EventHandler, dispatching the channel's
+// typed arrival and tx-done events. Not intended to be called directly.
+func (r *Radio) HandleEvent(kind int32, arg any, x float64) {
+	switch kind {
+	case evBeginArrival:
+		r.beginArrival(arg.(*Transmission), x)
+	case evEndArrival:
+		r.endArrival(arg.(*Transmission))
+	case evTxDone:
+		r.currentTx = nil
+		r.updateCarrier()
+		r.h.RadioTxDone(arg.(*Transmission))
+	default:
+		panic(fmt.Sprintf("phys: radio %d unknown event kind %d", r.id, kind))
+	}
 }
 
 // Transmit puts a frame of the given size on the air at powerW watts for
@@ -123,23 +158,19 @@ func (r *Radio) Transmit(powerW float64, bits int, dur sim.Duration, payload any
 	if powerW <= 0 || dur <= 0 {
 		panic(fmt.Sprintf("phys: radio %d invalid transmit power=%g dur=%d", r.id, powerW, dur))
 	}
-	if r.current != nil {
+	if r.current >= 0 {
 		// Abort the in-progress reception: the frame will not be
 		// delivered, and its power is plain interference from now on.
-		r.current.killed = true
-		r.current.locked = false
-		r.current = nil
+		r.arrivals[r.current].killed = true
+		r.arrivals[r.current].locked = false
+		r.current = -1
 	}
 	now := r.ch.sched.Now()
 	r.txUntil = now.Add(dur)
 	tx := r.ch.transmit(r, powerW, bits, dur, payload)
 	r.currentTx = tx
 	r.EnergyTxJ += powerW * dur.Seconds()
-	r.ch.sched.Schedule(dur, func() {
-		r.currentTx = nil
-		r.updateCarrier()
-		r.h.RadioTxDone(tx)
-	})
+	r.ch.sched.ScheduleEvent(dur, r, evTxDone, tx, 0)
 	r.updateCarrier()
 	return tx
 }
@@ -147,30 +178,31 @@ func (r *Radio) Transmit(powerW float64, bits int, dur sim.Duration, payload any
 // beginArrival is called by the channel when a transmission's leading
 // edge reaches this radio.
 func (r *Radio) beginArrival(tx *Transmission, powerW float64) {
-	a := &arrival{tx: tx, powerW: powerW}
-	// Interference from everything already on the air, before a is
-	// registered.
+	// Interference from everything already on the air, before this
+	// arrival is registered.
 	others := r.Interference()
-	r.arrivals[tx] = a
+	r.arrivals = append(r.arrivals, arrival{tx: tx, powerW: powerW})
+	r.totalW += powerW
 	par := r.ch.par
-	canLock := !r.Transmitting() && r.current == nil &&
+	canLock := !r.Transmitting() && r.current < 0 &&
 		powerW >= par.RxThreshW &&
 		powerW >= par.CaptureRatio*(par.NoiseFloorW+others)
 	if canLock {
 		// Preamble acquired: decode this frame, tracking the worst
 		// interference seen until its end.
-		a.locked = true
-		a.peakIn = others
-		r.current = a
+		i := len(r.arrivals) - 1
+		r.arrivals[i].locked = true
+		r.arrivals[i].peakIn = others
+		r.current = i
 		r.updateCarrier()
 		r.h.RadioRxBegin(tx, powerW)
 		return
 	}
 	// The arrival is interference. If a frame is being decoded, the
 	// interference level just rose; remember the peak.
-	if r.current != nil {
-		if in := r.Interference(); in > r.current.peakIn {
-			r.current.peakIn = in
+	if r.current >= 0 {
+		if in := r.Interference(); in > r.arrivals[r.current].peakIn {
+			r.arrivals[r.current].peakIn = in
 		}
 	}
 	r.updateCarrier()
@@ -179,17 +211,37 @@ func (r *Radio) beginArrival(tx *Transmission, powerW float64) {
 // endArrival is called by the channel when a transmission's trailing
 // edge passes this radio.
 func (r *Radio) endArrival(tx *Transmission) {
-	a, ok := r.arrivals[tx]
-	if !ok {
+	i := -1
+	for j := range r.arrivals {
+		if r.arrivals[j].tx == tx {
+			i = j
+			break
+		}
+	}
+	if i < 0 {
 		return
 	}
-	delete(r.arrivals, tx)
+	a := r.arrivals[i]
+	// Remove preserving arrival order, so the summation order over the
+	// remaining set stays the arrival order.
+	copy(r.arrivals[i:], r.arrivals[i+1:])
+	r.arrivals[len(r.arrivals)-1] = arrival{}
+	r.arrivals = r.arrivals[:len(r.arrivals)-1]
+	switch {
+	case r.current == i:
+		r.current = -1 // the locked arrival itself ended (handled below)
+	case r.current > i:
+		r.current--
+	}
+	r.totalW -= a.powerW
+	if len(r.arrivals) == 0 {
+		r.totalW = 0 // drop accumulated rounding drift at quiet points
+	}
 	par := r.ch.par
 	switch {
 	case a.killed:
 		// Reception aborted by our own transmission: drop silently.
 	case a.locked:
-		r.current = nil
 		sinrOK := a.powerW >= par.CaptureRatio*(par.NoiseFloorW+a.peakIn)
 		r.updateCarrier()
 		r.h.RadioRx(tx, a.powerW, !sinrOK)

@@ -43,17 +43,30 @@ func NewShadowing(base Propagation, sigmaDB float64, seed int64) *Shadowing {
 // Name implements Propagation.
 func (*Shadowing) Name() string { return "shadowing" }
 
-// ReceivedPower implements Propagation.
+// ReceivedPower implements Propagation. It is definitionally
+// MeanReceivedPower * Fade — the channel's link cache relies on that
+// factoring to split the deterministic mean (cached per link) from the
+// per-delivery draw while consuming the generator identically.
 func (m *Shadowing) ReceivedPower(txPower, dist float64) float64 {
-	avg := m.Base.ReceivedPower(txPower, dist)
-	if m.SigmaDB == 0 {
-		return avg
-	}
-	xDB := m.rng.NormFloat64() * m.SigmaDB
-	return avg * math.Pow(10, xDB/10)
+	return m.MeanReceivedPower(txPower, dist) * m.Fade()
 }
 
 // MeanReceivedPower returns the deterministic (zero-fade) power at dist.
 func (m *Shadowing) MeanReceivedPower(txPower, dist float64) float64 {
 	return m.Base.ReceivedPower(txPower, dist)
+}
+
+// Fade draws one multiplicative fade factor 10^(X/10), X ~ N(0, sigma^2)
+// dB — the same draw ReceivedPower applies internally. The channel's
+// link cache uses it to compose a per-delivery fade onto the cached mean
+// gain: MeanReceivedPower(p, d) * Fade() consumes the generator exactly
+// as ReceivedPower(p, d) does, so cached and uncached runs see the same
+// random stream. Zero sigma returns 1 without consuming a draw,
+// mirroring ReceivedPower's zero-sigma shortcut.
+func (m *Shadowing) Fade() float64 {
+	if m.SigmaDB == 0 {
+		return 1
+	}
+	xDB := m.rng.NormFloat64() * m.SigmaDB
+	return math.Pow(10, xDB/10)
 }

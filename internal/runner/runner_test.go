@@ -567,3 +567,41 @@ func TestSingleRunRecord(t *testing.T) {
 		t.Errorf("throughput = %g", rec.ThroughputKbps)
 	}
 }
+
+// TestExecuteRepeatDeterministic is the regression test for the
+// fixed-order float summation in the radio's interference tracking: a
+// full 50-node mobile campaign must emit byte-identical JSONL on every
+// execution. Before the arrival bookkeeping moved from a map to an
+// ordered slice, in-band power was summed in Go's randomised map
+// iteration order, so two runs of the same campaign could round
+// differently and diverge — exactly what this test would catch.
+func TestExecuteRepeatDeterministic(t *testing.T) {
+	c := Campaign{
+		Name: "repeat50",
+		Base: scenario.Options{
+			Nodes:    50,
+			Duration: 2 * sim.Second,
+			Warmup:   sim.Duration(sim.Second / 2),
+		},
+		Schemes:   []mac.Scheme{mac.PCMAC},
+		LoadsKbps: []float64{400},
+		Reps:      1,
+	}
+	var first bytes.Buffer
+	if _, err := Execute(c, ExecOptions{Workers: 2, Out: &first}); err != nil {
+		t.Fatal(err)
+	}
+	if first.Len() == 0 {
+		t.Fatal("campaign emitted nothing")
+	}
+	for i := 0; i < 2; i++ {
+		var again bytes.Buffer
+		if _, err := Execute(c, ExecOptions{Workers: 2, Out: &again}); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(first.Bytes(), again.Bytes()) {
+			t.Fatalf("execution %d JSONL differs from the first:\n--- first ---\n%s--- again ---\n%s",
+				i+2, first.String(), again.String())
+		}
+	}
+}

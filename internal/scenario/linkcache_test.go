@@ -1,0 +1,115 @@
+package scenario
+
+import (
+	"testing"
+
+	"repro/internal/mac"
+	"repro/internal/sim"
+)
+
+// linkCacheOpts is a deliberately mobile, short scenario: nodes are in
+// flight for most of the run, so the position epoch advances constantly
+// and the link rows are rebuilt at nearly every frame — the worst case
+// for invalidation bugs.
+func linkCacheOpts(shadowSigma float64) Options {
+	return Options{
+		Nodes:            20,
+		FieldW:           600,
+		FieldH:           600,
+		SpeedMin:         20, // fast movement: positions change every instant
+		SpeedMax:         20,
+		Pause:            sim.Second / 2,
+		Flows:            5,
+		OfferedLoadKbps:  200,
+		Duration:         3 * sim.Second,
+		Warmup:           sim.Duration(sim.Second / 2),
+		Seed:             7,
+		ShadowingSigmaDB: shadowSigma,
+	}
+}
+
+// equalResults compares every float a cached-vs-uncached divergence
+// could perturb. Equality must be exact: the cache stores the very same
+// received-power and delay values the uncached walk computes.
+func equalResults(t *testing.T, name string, a, b Result) {
+	t.Helper()
+	if a.Events != b.Events {
+		t.Errorf("%s: events %d != %d", name, a.Events, b.Events)
+	}
+	pairs := []struct {
+		what string
+		x, y float64
+	}{
+		{"throughput", a.ThroughputKbps, b.ThroughputKbps},
+		{"delay", a.AvgDelayMs, b.AvgDelayMs},
+		{"pdr", a.PDR, b.PDR},
+		{"fairness", a.JainFairness, b.JainFairness},
+		{"energy", a.EnergyJ, b.EnergyJ},
+		{"ctrlEnergy", a.CtrlEnergyJ, b.CtrlEnergyJ},
+	}
+	for _, p := range pairs {
+		if p.x != p.y {
+			t.Errorf("%s: %s %v != %v", name, p.what, p.x, p.y)
+		}
+	}
+	if a.MAC != b.MAC {
+		t.Errorf("%s: MAC stats diverge:\n  cached   %+v\n  uncached %+v", name, a.MAC, b.MAC)
+	}
+}
+
+// TestLinkCacheSoundMobile is the invalidation-soundness proof the cache
+// rests on: a moving-waypoint run must produce bit-identical results
+// with and without the link-gain cache. Any stale row — a position
+// change the epoch counter missed — shows up as a diverging delivery
+// and fails the comparison.
+func TestLinkCacheSoundMobile(t *testing.T) {
+	o := linkCacheOpts(0)
+	cached, err := Run(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	o.DisableLinkCache = true
+	uncached, err := Run(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cached.Events == 0 {
+		t.Fatal("empty run proves nothing")
+	}
+	equalResults(t, "mobile", cached, uncached)
+}
+
+// TestLinkCacheSoundShadowing adds log-normal fading: the cached path
+// must consume the fade generator in exactly the order the uncached
+// walk does (one draw per attached radio per frame), or the streams
+// desync and every subsequent delivery differs.
+func TestLinkCacheSoundShadowing(t *testing.T) {
+	o := linkCacheOpts(4.0)
+	cached, err := Run(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	o.DisableLinkCache = true
+	uncached, err := Run(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	equalResults(t, "shadowing", cached, uncached)
+}
+
+// TestLinkCacheSoundStatic covers the other extreme: a static topology
+// whose rows are built exactly once and reused for the whole run.
+func TestLinkCacheSoundStatic(t *testing.T) {
+	o := Fig1Options(mac.PCMAC) // paper's static two-pair topology
+	o.Duration = 2 * sim.Second
+	cached, err := Run(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	o.DisableLinkCache = true
+	uncached, err := Run(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	equalResults(t, "static", cached, uncached)
+}

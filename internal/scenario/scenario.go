@@ -93,6 +93,10 @@ type Options struct {
 	// to fading — the fluctuation the paper's 0.7 safety coefficient
 	// exists for.
 	ShadowingSigmaDB float64
+	// DisableLinkCache turns off the channels' link-gain cache, forcing
+	// the per-frame full propagation walk. Results are identical either
+	// way; the knob exists for cache-soundness tests and perf A/Bs.
+	DisableLinkCache bool
 }
 
 // withDefaults fills zero fields with the paper's parameters.
@@ -262,6 +266,7 @@ func Build(o Options) (*Network, error) {
 		nw.Timeline = stats.NewTimeline(o.TimelineBucket)
 	}
 
+	epochs := mobility.NewEpochs(sched.Now)
 	for i := 0; i < o.Nodes; i++ {
 		var mob mobility.Model
 		if len(o.Static) > 0 {
@@ -269,6 +274,7 @@ func Build(o Options) (*Network, error) {
 		} else {
 			mob = mobility.NewWaypoint(field, o.SpeedMin, o.SpeedMax, o.Pause, rand.New(rand.NewSource(master.Int63())))
 		}
+		epochs.Track(mob)
 		n, err := node.New(packet.NodeID(i), sched, dataCh, ctrlCh, mob, ncfg, rand.New(rand.NewSource(master.Int63())))
 		if err != nil {
 			return nil, fmt.Errorf("scenario: %w", err)
@@ -283,6 +289,16 @@ func Build(o Options) (*Network, error) {
 			}
 		}
 		nw.Nodes = append(nw.Nodes, n)
+	}
+
+	// Let the channels cache link tables between position changes. One
+	// epoch counter serves both channels: they share the same node set
+	// and therefore the same geometry.
+	dataCh.SetPositionEpoch(epochs.Epoch)
+	dataCh.SetLinkCache(!o.DisableLinkCache)
+	if ctrlCh != nil {
+		ctrlCh.SetPositionEpoch(epochs.Epoch)
+		ctrlCh.SetLinkCache(!o.DisableLinkCache)
 	}
 
 	// Flows.

@@ -1,0 +1,37 @@
+package sim
+
+import "testing"
+
+// BenchmarkSchedulerChurn measures the schedule/cancel/fire cycle that
+// dominates MAC timer traffic: every frame arms a timeout, most timeouts
+// are cancelled before firing, and the rest fire. Allocations per
+// operation here multiply across every frame of every run in a campaign.
+func BenchmarkSchedulerChurn(b *testing.B) {
+	s := NewScheduler()
+	fn := func() {}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		// One cancelled event (the common CTS-timeout path)...
+		e := s.Schedule(10, fn)
+		s.Cancel(e)
+		// ...and one fired event.
+		s.Schedule(1, fn)
+		s.Step()
+	}
+}
+
+// BenchmarkTimerChurn measures the Timer Start/Stop/expiry cycle used by
+// the MAC state machines (defer, backoff, NAV, CTS/ACK timeouts).
+func BenchmarkTimerChurn(b *testing.B) {
+	s := NewScheduler()
+	t := NewTimer(s, func() {})
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		t.Start(10)
+		t.Stop()
+		t.Start(1)
+		s.Step()
+	}
+}

@@ -65,11 +65,39 @@ func DurationOf(seconds float64) Duration {
 
 // Event is a pending callback in the scheduler. The zero Event is
 // meaningless; events are created by Scheduler.Schedule/At.
+//
+// Lifecycle contract: handles returned by Schedule/At stay valid
+// indefinitely — a fired or cancelled event is inert (Pending reports
+// false, Cancel is a no-op) and is never recycled, so callers may retain
+// and cancel handles unconditionally. Events created through the pooled
+// paths (ScheduleEvent, Timer) return to the scheduler's free list the
+// moment they fire or are cancelled; no handle to them ever escapes, so
+// no caller can observe the reuse.
 type Event struct {
 	at    Time
 	seq   uint64
 	index int // heap index, -1 when not queued
 	fn    func()
+
+	// Typed no-capture form: when h is non-nil the event dispatches
+	// h.HandleEvent(kind, arg, x) instead of fn. The three payload slots
+	// cover the hot paths (phys arrivals carry radio/tx/power) without a
+	// closure allocation per event.
+	h    EventHandler
+	kind int32
+	arg  any
+	x    float64
+
+	// pooled events are owned by the scheduler (or, transiently, a
+	// Timer) and return to the free list on fire/cancel.
+	pooled bool
+}
+
+// EventHandler receives typed events scheduled with ScheduleEvent. The
+// (kind, arg, x) triple is whatever the scheduling site passed; the
+// handler dispatches on kind.
+type EventHandler interface {
+	HandleEvent(kind int32, arg any, x float64)
 }
 
 // At reports when the event will fire.
@@ -116,6 +144,12 @@ type Scheduler struct {
 	pending eventHeap
 	stopped bool
 
+	// free is the event free list. Only pooled events (typed events and
+	// Timer events, whose handles never escape their owner) are
+	// recycled; plain Schedule/At events are not, preserving the
+	// retain-and-cancel-unconditionally contract on their handles.
+	free []*Event
+
 	// Executed counts events that have fired, for diagnostics and for
 	// runaway detection in tests.
 	executed uint64
@@ -158,13 +192,90 @@ func (s *Scheduler) At(t Time, fn func()) *Event {
 	return e
 }
 
+// ScheduleEvent queues a typed, fire-and-forget event d after the current
+// time: when it fires, h.HandleEvent(kind, arg, x) runs. No handle is
+// returned — the event cannot be cancelled — which is what lets the
+// scheduler recycle its Event struct through the free list the moment it
+// fires. This is the allocation-free path the physical layer's arrival
+// events use; after warm-up it performs no heap allocation per call.
+func (s *Scheduler) ScheduleEvent(d Duration, h EventHandler, kind int32, arg any, x float64) {
+	if d < 0 {
+		panic(fmt.Sprintf("sim: negative delay %d", d))
+	}
+	if h == nil {
+		panic("sim: nil event handler")
+	}
+	e := s.acquire()
+	e.at = s.now.Add(d)
+	e.h = h
+	e.kind = kind
+	e.arg = arg
+	e.x = x
+	e.seq = s.seq
+	s.seq++
+	heap.Push(&s.pending, e)
+}
+
+// scheduleOwned queues a pooled typed event and returns its handle to an
+// in-package owner (Timer). The owner must be the handle's only holder
+// and must discard it on fire (before the callback runs) or return it
+// via cancelOwned, upholding the free-list invariant.
+func (s *Scheduler) scheduleOwned(t Time, h EventHandler) *Event {
+	if t < s.now {
+		panic(fmt.Sprintf("sim: scheduling into the past: now=%v at=%v", s.now, t))
+	}
+	e := s.acquire()
+	e.at = t
+	e.h = h
+	e.seq = s.seq
+	s.seq++
+	heap.Push(&s.pending, e)
+	return e
+}
+
+// acquire takes an Event from the free list (or allocates one) and marks
+// it pooled.
+func (s *Scheduler) acquire() *Event {
+	n := len(s.free)
+	if n == 0 {
+		return &Event{index: -1, pooled: true}
+	}
+	e := s.free[n-1]
+	s.free[n-1] = nil
+	s.free = s.free[:n-1]
+	return e
+}
+
+// release returns a pooled event to the free list, dropping payload
+// references so the pool does not retain garbage.
+func (s *Scheduler) release(e *Event) {
+	e.fn = nil
+	e.h = nil
+	e.arg = nil
+	e.x = 0
+	e.kind = 0
+	s.free = append(s.free, e)
+}
+
 // Cancel removes a pending event. Cancelling a nil, fired, or already
 // cancelled event is a no-op, so callers can cancel unconditionally.
+// Cancelled Schedule/At events are not recycled: their handle stays
+// valid (and inert) for as long as the caller retains it.
 func (s *Scheduler) Cancel(e *Event) {
 	if e == nil || e.index < 0 {
 		return
 	}
 	heap.Remove(&s.pending, e.index)
+}
+
+// cancelOwned cancels a pooled event on behalf of its sole owner and
+// returns the struct to the free list.
+func (s *Scheduler) cancelOwned(e *Event) {
+	if e == nil || e.index < 0 {
+		return
+	}
+	heap.Remove(&s.pending, e.index)
+	s.release(e)
 }
 
 // Step fires the single earliest pending event. It reports false when the
@@ -176,6 +287,21 @@ func (s *Scheduler) Step() bool {
 	e := heap.Pop(&s.pending).(*Event)
 	s.now = e.at
 	s.executed++
+	if e.h != nil {
+		h, kind, arg, x := e.h, e.kind, e.arg, e.x
+		if e.pooled {
+			// Recycle before dispatch: the callback may schedule new
+			// events and can reuse this struct immediately. No handle to
+			// a pooled event survives outside its owner, and Timer (the
+			// one owner that holds handles) drops its handle before the
+			// callback observes it, so the reuse is unobservable.
+			s.release(e)
+		}
+		h.HandleEvent(kind, arg, x)
+		return true
+	}
+	// Closure events are never pooled (their handles escape via
+	// Schedule/At), so the struct is simply abandoned to the GC.
 	e.fn()
 	return true
 }
@@ -213,6 +339,10 @@ func (s *Scheduler) Stop() { s.stopped = true }
 // workhorse of MAC state machines (CTS timeouts, NAV expiry, backoff
 // slots). Unlike raw events a Timer can be reused: Start after Stop or
 // after expiry re-arms it.
+//
+// Timers ride the scheduler's event free list: arming one allocates
+// nothing after warm-up, because the timer is the sole holder of its
+// event handle and returns the struct to the pool on expiry or Stop.
 type Timer struct {
 	s  *Scheduler
 	ev *Event
@@ -227,32 +357,35 @@ func NewTimer(s *Scheduler, fn func()) *Timer {
 	return &Timer{s: s, fn: fn}
 }
 
+// HandleEvent implements EventHandler for the timer's own pooled event.
+// Not intended to be called directly.
+func (t *Timer) HandleEvent(int32, any, float64) {
+	// Drop the handle before running fn: the scheduler has already
+	// recycled the event, and fn may re-arm the timer.
+	t.ev = nil
+	t.fn()
+}
+
 // Start arms the timer to fire d from now, replacing any previous
 // schedule.
 func (t *Timer) Start(d Duration) {
-	t.Stop()
-	ev := t.s.Schedule(d, func() {
-		t.ev = nil
-		t.fn()
-	})
-	t.ev = ev
+	if d < 0 {
+		panic(fmt.Sprintf("sim: negative delay %d", d))
+	}
+	t.StartAt(t.s.now.Add(d))
 }
 
 // StartAt arms the timer to fire at absolute time at, replacing any
 // previous schedule.
 func (t *Timer) StartAt(at Time) {
 	t.Stop()
-	ev := t.s.At(at, func() {
-		t.ev = nil
-		t.fn()
-	})
-	t.ev = ev
+	t.ev = t.s.scheduleOwned(at, t)
 }
 
 // Stop disarms the timer. Stopping an idle timer is a no-op.
 func (t *Timer) Stop() {
 	if t.ev != nil {
-		t.s.Cancel(t.ev)
+		t.s.cancelOwned(t.ev)
 		t.ev = nil
 	}
 }

@@ -351,22 +351,6 @@ func TestExecutedCounter(t *testing.T) {
 	}
 }
 
-func BenchmarkSchedulerChurn(b *testing.B) {
-	s := NewScheduler()
-	b.ReportAllocs()
-	var step func()
-	remaining := b.N
-	step = func() {
-		remaining--
-		if remaining > 0 {
-			s.Schedule(Microsecond, step)
-		}
-	}
-	s.Schedule(Microsecond, step)
-	b.ResetTimer()
-	s.RunAll()
-}
-
 func BenchmarkSchedulerFanOut(b *testing.B) {
 	b.ReportAllocs()
 	rng := rand.New(rand.NewSource(1))
