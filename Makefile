@@ -8,7 +8,7 @@ GO ?= go
 MICRO_BENCH = BenchmarkSchedulerChurn|BenchmarkTimerChurn|BenchmarkSchedulerFanOut|BenchmarkChannelTransmit|BenchmarkRadioArrivals
 BENCH_DATE ?= $(shell date +%Y-%m-%d)
 
-.PHONY: all build test bench bench-micro bench-json lint fmt
+.PHONY: all build test bench bench-micro bench-json lint lint-golangci campaign-smoke fmt
 
 all: lint build test
 
@@ -42,6 +42,23 @@ bench-json:
 lint:
 	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then echo "gofmt needed on:" >&2; echo "$$out" >&2; exit 1; fi
 	$(GO) vet ./...
+
+# lint-golangci mirrors CI's golangci-lint job (.golangci.yml). The
+# binary is not vendored; install it or let CI run it.
+lint-golangci:
+	golangci-lint run
+
+# campaign-smoke mirrors CI's end-to-end campaign job: the bursty
+# preset must dry-run, execute a tiny grid to non-empty JSONL, and
+# resume cleanly from its own checkpoint.
+campaign-smoke:
+	@$(GO) run ./cmd/campaign -preset bursty -dry-run > /dev/null
+	@tmp=$$(mktemp); \
+	$(GO) run ./cmd/campaign -preset bursty -duration 4 -seeds 1 -loads 250 -out $$tmp -q && \
+	test -s $$tmp && \
+	$(GO) run ./cmd/campaign -preset bursty -duration 4 -seeds 1 -loads 250 -out $$tmp -resume -q > /dev/null && \
+	echo "campaign-smoke: ok ($$(wc -l < $$tmp) records)"; \
+	rc=$$?; rm -f $$tmp; exit $$rc
 
 fmt:
 	gofmt -w .

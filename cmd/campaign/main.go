@@ -11,6 +11,8 @@
 //	campaign -spec fig8.json -out fig8.jsonl -resume
 //	campaign -preset ablation-safety -loads 300,400 -csv
 //	campaign -preset mobility -dry-run
+//	campaign -preset bursty -loads 300 -seeds 1
+//	campaign -preset clustered -topology grid,clusters -dry-run
 package main
 
 import (
@@ -33,6 +35,8 @@ func main() {
 		duration = flag.Float64("duration", 100, "preset: simulated seconds per run (paper: 400)")
 		seeds    = flag.Int("seeds", 3, "preset: replications per grid point")
 		loadsCSV = flag.String("loads", "", "preset: offered-load axis in kbps (default 200..550)")
+		traffic  = flag.String("traffic", "", "override the workload-model axis (csv of cbr|poisson|onoff|pareto|reqresp)")
+		topology = flag.String("topology", "", "override the placement axis (csv of uniform|grid|clusters|corridor)")
 		out      = flag.String("out", "results.jsonl", "JSONL results/checkpoint file (empty: none)")
 		resume   = flag.Bool("resume", false, "skip runs already present in -out, append the rest")
 		workers  = flag.Int("workers", 0, "worker pool size (0 = GOMAXPROCS)")
@@ -45,6 +49,14 @@ func main() {
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
+	}
+	// The workload axes override whatever the spec or preset chose, so
+	// any campaign can be re-shaped from the command line.
+	if vals := splitCSV(*traffic); len(vals) > 0 {
+		camp.Traffics = vals
+	}
+	if vals := splitCSV(*topology); len(vals) > 0 {
+		camp.Topologies = vals
 	}
 
 	if *emitSpec {
@@ -146,6 +158,18 @@ func buildCampaign(spec, preset string, duration float64, seeds int, loadsCSV st
 		return runner.Campaign{}, fmt.Errorf("campaign: need -spec FILE or -preset NAME (presets: %s)",
 			strings.Join(runner.PresetNames(), ", "))
 	}
+}
+
+// splitCSV converts "a,b,c" to its trimmed non-empty tokens (nil when
+// empty).
+func splitCSV(csv string) []string {
+	var out []string
+	for _, tok := range strings.Split(csv, ",") {
+		if t := strings.TrimSpace(tok); t != "" {
+			out = append(out, t)
+		}
+	}
+	return out
 }
 
 // parseLoads converts "200,300,400" to the load axis (nil when empty,

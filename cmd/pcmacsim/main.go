@@ -23,7 +23,10 @@ func main() {
 		schemeName = flag.String("scheme", "pcmac", "MAC protocol: basic|scheme1|scheme2|pcmac")
 		load       = flag.Float64("load", 400, "aggregate offered load (kbps)")
 		nodes      = flag.Int("nodes", 50, "number of terminals")
-		flows      = flag.Int("flows", 10, "number of CBR source-destination pairs")
+		flows      = flag.Int("flows", 10, "number of source-destination pairs")
+		trafficM   = flag.String("traffic", "", "workload model: cbr|poisson|onoff|pareto|reqresp (default cbr)")
+		topology   = flag.String("topology", "", "placement: uniform|grid|clusters|corridor (default: mobile random waypoint)")
+		respBytes  = flag.Int("resp-bytes", 0, "reqresp: response payload bytes (default: packet size)")
 		duration   = flag.Float64("duration", 60, "simulated seconds")
 		warmup     = flag.Float64("warmup", 5, "metric warmup seconds")
 		speed      = flag.Float64("speed", 3, "node speed (m/s)")
@@ -60,6 +63,9 @@ func main() {
 			Scheme:             scheme,
 			Nodes:              *nodes,
 			Flows:              *flows,
+			Traffic:            *trafficM,
+			Topology:           *topology,
+			ResponseBytes:      *respBytes,
 			OfferedLoadKbps:    *load,
 			FieldW:             *field,
 			FieldH:             *field,
@@ -119,6 +125,8 @@ func main() {
 	fmt.Printf("offered load              %.0f kbps over %d flows\n", res.Opts.OfferedLoadKbps, res.Opts.Flows)
 	fmt.Printf("aggregate throughput      %.1f kbps\n", res.ThroughputKbps)
 	fmt.Printf("average end-to-end delay  %.1f ms\n", res.AvgDelayMs)
+	fmt.Printf("delay p50/p95/p99         %.1f / %.1f / %.1f ms\n", res.DelayP50Ms, res.DelayP95Ms, res.DelayP99Ms)
+	fmt.Printf("jitter                    %.1f ms\n", res.JitterMs)
 	fmt.Printf("packet delivery ratio     %.3f\n", res.PDR)
 	fmt.Printf("Jain fairness             %.3f\n", res.JainFairness)
 	fmt.Printf("radiated energy           %.2f J data + %.2f J control\n", res.EnergyJ, res.CtrlEnergyJ)
@@ -136,8 +144,8 @@ func main() {
 	if *verbose {
 		fmt.Println("\nper-flow:")
 		for _, f := range res.Flows {
-			fmt.Printf("  flow %2d: sent=%5d delivered=%5d pdr=%.3f delay=%.1fms\n",
-				f.FlowID, f.Sent, f.Delivered, f.PDR(), f.MeanDelayMs())
+			fmt.Printf("  flow %2d: sent=%5d delivered=%5d pdr=%.3f delay=%.1fms p95=%.1fms jitter=%.1fms\n",
+				f.FlowID, f.Sent, f.Delivered, f.PDR(), f.MeanDelayMs(), f.DelayP95Ms, f.JitterMs)
 		}
 		m := res.MAC
 		fmt.Println("\nmac totals:")

@@ -71,7 +71,8 @@ func main() {
 	}
 	var pairs [][2]packet.NodeID
 	for _, src := range nw.Sources {
-		pairs = append(pairs, [2]packet.NodeID{src.Src, src.Dst})
+		s, d := src.Endpoints()
+		pairs = append(pairs, [2]packet.NodeID{s, d})
 	}
 	m.MarkFlows(pairs)
 

@@ -1,0 +1,50 @@
+// Example workloads compares the traffic models on a clustered
+// topology at one offered load: the same mean rate shaped as constant,
+// memoryless, bursty, heavy-tailed and request-response streams, and
+// what each shape does to the latency tail (p95/p99) and jitter that
+// the mean delay hides.
+package main
+
+import (
+	"fmt"
+	"os"
+	"text/tabwriter"
+
+	"repro/internal/mac"
+	"repro/internal/scenario"
+	"repro/internal/sim"
+	"repro/internal/traffic"
+)
+
+func main() {
+	tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Println("PCMAC, 25 nodes in Gaussian clusters, 6 flows, 200 kbps offered, 40 s")
+	fmt.Fprintln(tw, "model\tthroughput (kbps)\tdelay (ms)\tp50\tp95\tp99\tjitter\tpdr")
+	for _, m := range traffic.Models() {
+		res, err := scenario.Run(scenario.Options{
+			Scheme:          mac.PCMAC,
+			Nodes:           25,
+			Flows:           6,
+			Traffic:         string(m),
+			Topology:        scenario.TopologyClusters,
+			OfferedLoadKbps: 200,
+			Duration:        40 * sim.Second,
+			Warmup:          5 * sim.Second,
+			Seed:            7,
+		})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(tw, "%s\t%.1f\t%.1f\t%.1f\t%.1f\t%.1f\t%.1f\t%.3f\n",
+			m, res.ThroughputKbps, res.AvgDelayMs,
+			res.DelayP50Ms, res.DelayP95Ms, res.DelayP99Ms, res.JitterMs, res.PDR)
+	}
+	if err := tw.Flush(); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	fmt.Println("\nSame mean load, different shape: bursty and request-response streams lift")
+	fmt.Println("the p95/p99 tail and jitter above the CBR baseline even where mean delay")
+	fmt.Println("barely moves — the regime a constant-rate-only evaluation never sees.")
+}

@@ -16,6 +16,9 @@ type Point struct {
 
 	Throughput stats.Series
 	DelayMs    stats.Series
+	DelayP95Ms stats.Series
+	DelayP99Ms stats.Series
+	JitterMs   stats.Series
 	PDR        stats.Series
 	EnergyJ    stats.Series
 	Fairness   stats.Series
@@ -45,6 +48,9 @@ func (a *Aggregate) Add(run Run, r Result) {
 	}
 	p.Throughput.Append(r.ThroughputKbps)
 	p.DelayMs.Append(r.AvgDelayMs)
+	p.DelayP95Ms.Append(r.DelayP95Ms)
+	p.DelayP99Ms.Append(r.DelayP99Ms)
+	p.JitterMs.Append(r.JitterMs)
 	p.PDR.Append(r.PDR)
 	p.EnergyJ.Append(r.EnergyJ + r.CtrlEnergyJ)
 	p.Fairness.Append(r.JainFairness)
@@ -63,28 +69,31 @@ func (a *Aggregate) Points() []*Point {
 // headline metrics over its replications.
 func (a *Aggregate) WriteTable(w io.Writer) error {
 	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
-	fmt.Fprintln(tw, "point\tn\tthroughput (kbps)\tdelay (ms)\tpdr\tenergy (J)\tfairness")
+	fmt.Fprintln(tw, "point\tn\tthroughput (kbps)\tdelay (ms)\tp95 (ms)\tjitter (ms)\tpdr\tenergy (J)\tfairness")
 	for _, p := range a.Points() {
-		fmt.Fprintf(tw, "%s\t%d\t%.1f ±%.1f\t%.1f ±%.1f\t%.3f\t%.2f\t%.3f\n",
+		fmt.Fprintf(tw, "%s\t%d\t%.1f ±%.1f\t%.1f ±%.1f\t%.1f\t%.1f\t%.3f\t%.2f\t%.3f\n",
 			p.Label, p.Throughput.N(),
 			p.Throughput.Mean(), p.Throughput.StdDev(),
 			p.DelayMs.Mean(), p.DelayMs.StdDev(),
+			p.DelayP95Ms.Mean(), p.JitterMs.Mean(),
 			p.PDR.Mean(), p.EnergyJ.Mean(), p.Fairness.Mean())
 	}
 	return tw.Flush()
 }
 
 // WriteCSV emits machine-readable aggregation rows, including the
-// throughput envelope (min/max over replications).
+// throughput envelope (min/max over replications) and the latency-tail
+// means.
 func (a *Aggregate) WriteCSV(w io.Writer) error {
-	if _, err := fmt.Fprintln(w, "point,n,throughput_mean,throughput_sd,throughput_min,throughput_max,delay_mean,delay_sd,pdr_mean,energy_mean,fairness_mean"); err != nil {
+	if _, err := fmt.Fprintln(w, "point,n,throughput_mean,throughput_sd,throughput_min,throughput_max,delay_mean,delay_sd,delay_p95_mean,delay_p99_mean,jitter_mean,pdr_mean,energy_mean,fairness_mean"); err != nil {
 		return err
 	}
 	for _, p := range a.Points() {
-		if _, err := fmt.Fprintf(w, "%s,%d,%.3f,%.3f,%.3f,%.3f,%.3f,%.3f,%.3f,%.3f,%.3f\n",
+		if _, err := fmt.Fprintf(w, "%s,%d,%.3f,%.3f,%.3f,%.3f,%.3f,%.3f,%.3f,%.3f,%.3f,%.3f,%.3f,%.3f\n",
 			p.Label, p.Throughput.N(),
 			p.Throughput.Mean(), p.Throughput.StdDev(), p.Throughput.Min(), p.Throughput.Max(),
 			p.DelayMs.Mean(), p.DelayMs.StdDev(),
+			p.DelayP95Ms.Mean(), p.DelayP99Ms.Mean(), p.JitterMs.Mean(),
 			p.PDR.Mean(), p.EnergyJ.Mean(), p.Fairness.Mean()); err != nil {
 			return err
 		}

@@ -26,6 +26,8 @@ type Result struct {
 	Key          string  `json:"key"`
 	Variant      string  `json:"variant,omitempty"`
 	Scheme       string  `json:"scheme"`
+	Traffic      string  `json:"traffic,omitempty"`
+	Topology     string  `json:"topology,omitempty"`
 	LoadKbps     float64 `json:"load_kbps"`
 	Nodes        int     `json:"nodes"`
 	SpeedMps     float64 `json:"speed_mps"`
@@ -37,6 +39,10 @@ type Result struct {
 
 	ThroughputKbps float64 `json:"throughput_kbps"`
 	AvgDelayMs     float64 `json:"avg_delay_ms"`
+	DelayP50Ms     float64 `json:"delay_p50_ms"`
+	DelayP95Ms     float64 `json:"delay_p95_ms"`
+	DelayP99Ms     float64 `json:"delay_p99_ms"`
+	JitterMs       float64 `json:"jitter_ms"`
 	PDR            float64 `json:"pdr"`
 	JainFairness   float64 `json:"jain_fairness"`
 	EnergyJ        float64 `json:"energy_j"`
@@ -52,6 +58,8 @@ func ResultOf(r Run, res scenario.Result) Result {
 		Key:            r.Key,
 		Variant:        r.Variant,
 		Scheme:         o.Scheme.String(),
+		Traffic:        o.Traffic,
+		Topology:       o.Topology,
 		LoadKbps:       o.OfferedLoadKbps,
 		Nodes:          o.Nodes,
 		SpeedMps:       o.SpeedMax,
@@ -62,6 +70,10 @@ func ResultOf(r Run, res scenario.Result) Result {
 		DurationS:      o.Duration.Seconds(),
 		ThroughputKbps: res.ThroughputKbps,
 		AvgDelayMs:     res.AvgDelayMs,
+		DelayP50Ms:     res.DelayP50Ms,
+		DelayP95Ms:     res.DelayP95Ms,
+		DelayP99Ms:     res.DelayP99Ms,
+		JitterMs:       res.JitterMs,
 		PDR:            res.PDR,
 		JainFairness:   res.JainFairness,
 		EnergyJ:        res.EnergyJ,

@@ -77,6 +77,42 @@ var presets = map[string]presetFunc{
 			Reps:      reps,
 		}
 	},
+	// bursty sweeps the workload-model axis: the same mean load shaped
+	// as constant-rate, memoryless, bursty and heavy-tailed streams.
+	"bursty": func(d float64, reps int, loads []float64) Campaign {
+		return Campaign{
+			Name:      "bursty",
+			Base:      evalBase(d),
+			Schemes:   []mac.Scheme{mac.Basic, mac.PCMAC},
+			Traffics:  []string{"cbr", "poisson", "onoff", "pareto"},
+			LoadsKbps: loads,
+			Reps:      reps,
+		}
+	},
+	// clustered sweeps the placement axis: the paper's uniform layout
+	// against lattices, hotspot clusters and a multihop corridor.
+	"clustered": func(d float64, reps int, loads []float64) Campaign {
+		return Campaign{
+			Name:       "clustered",
+			Base:       evalBase(d),
+			Schemes:    []mac.Scheme{mac.Basic, mac.PCMAC},
+			Topologies: scenario.Topologies(),
+			LoadsKbps:  loads,
+			Reps:       reps,
+		}
+	},
+	// reqresp exercises bidirectional request-response exchange, where
+	// both directions' delays (and the percentile tails) matter.
+	"reqresp": func(d float64, reps int, loads []float64) Campaign {
+		return Campaign{
+			Name:      "reqresp",
+			Base:      evalBase(d),
+			Schemes:   mac.Schemes(),
+			Traffics:  []string{"reqresp"},
+			LoadsKbps: loads,
+			Reps:      reps,
+		}
+	},
 	"ablation-safety":   ablationPreset("safety"),
 	"ablation-ctrl":     ablationPreset("ctrl"),
 	"ablation-threeway": ablationPreset("threeway"),

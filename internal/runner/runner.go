@@ -68,6 +68,21 @@ func (v Variant) apply(o *scenario.Options) error {
 	if p.Flows != 0 {
 		o.Flows = patched.Flows
 	}
+	if p.Traffic != "" {
+		o.Traffic = patched.Traffic
+	}
+	if p.Topology != "" {
+		o.Topology = patched.Topology
+	}
+	if p.BurstFactor != 0 {
+		o.BurstFactor = patched.BurstFactor
+	}
+	if p.ParetoShape != 0 {
+		o.ParetoShape = patched.ParetoShape
+	}
+	if p.ResponseBytes != 0 {
+		o.ResponseBytes = patched.ResponseBytes
+	}
 	if p.OfferedLoadKbps != 0 {
 		o.OfferedLoadKbps = patched.OfferedLoadKbps
 	}
@@ -132,6 +147,12 @@ type Campaign struct {
 	Variants []Variant
 	// Schemes is the protocol axis.
 	Schemes []mac.Scheme
+	// Traffics is the workload-model axis (traffic.Models names:
+	// cbr|poisson|onoff|pareto|reqresp).
+	Traffics []string
+	// Topologies is the placement axis (scenario.Topologies names:
+	// uniform|grid|clusters|corridor).
+	Topologies []string
 	// LoadsKbps is the offered-load axis.
 	LoadsKbps []float64
 	// Nodes is the terminal-count axis.
@@ -207,6 +228,14 @@ func (c Campaign) Runs() ([]Run, error) {
 	if len(schemes) == 0 {
 		schemes = []mac.Scheme{c.Base.Scheme}
 	}
+	traffics := c.Traffics
+	if len(traffics) == 0 {
+		traffics = []string{c.Base.Traffic}
+	}
+	topos := c.Topologies
+	if len(topos) == 0 {
+		topos = []string{c.Base.Topology}
+	}
 	loads := c.LoadsKbps
 	if len(loads) == 0 {
 		loads = []float64{c.Base.OfferedLoadKbps}
@@ -243,54 +272,64 @@ func (c Campaign) Runs() ([]Run, error) {
 	seen := make(map[string]bool)
 	for _, v := range variants {
 		for _, s := range schemes {
-			for _, load := range loads {
-				if load < 0 {
-					return nil, fmt.Errorf("runner: negative load %g", load)
-				}
-				for _, n := range nodes {
-					for _, sp := range speeds {
-						for _, sh := range shadows {
-							for _, sf := range safeties {
-								for rep := 0; rep < reps; rep++ {
-									key := c.runKey(v, s, load, n, sp, sh, sf, rep)
-									if seen[key] {
-										return nil, fmt.Errorf("runner: duplicate run key %q (repeated axis value?)", key)
+			for _, tr := range traffics {
+				for _, top := range topos {
+					for _, load := range loads {
+						if load < 0 {
+							return nil, fmt.Errorf("runner: negative load %g", load)
+						}
+						for _, n := range nodes {
+							for _, sp := range speeds {
+								for _, sh := range shadows {
+									for _, sf := range safeties {
+										for rep := 0; rep < reps; rep++ {
+											key := c.runKey(v, s, tr, top, load, n, sp, sh, sf, rep)
+											if seen[key] {
+												return nil, fmt.Errorf("runner: duplicate run key %q (repeated axis value?)", key)
+											}
+											seen[key] = true
+											opts := c.Base
+											if err := v.apply(&opts); err != nil {
+												return nil, err
+											}
+											opts.Scheme = s
+											opts.OfferedLoadKbps = load
+											if len(c.Traffics) > 0 {
+												opts.Traffic = tr
+											}
+											if len(c.Topologies) > 0 {
+												opts.Topology = top
+											}
+											if len(c.Nodes) > 0 {
+												opts.Nodes = n
+											}
+											if len(c.SpeedsMps) > 0 {
+												opts.SpeedMin, opts.SpeedMax = sp, sp
+											}
+											if len(c.ShadowingDB) > 0 {
+												opts.ShadowingSigmaDB = sh
+											}
+											if len(c.SafetyFactors) > 0 {
+												opts.SafetyFactor = sf
+											}
+											seed := DeriveSeed(baseSeed, key)
+											if len(c.SeedList) > 0 {
+												seed = c.SeedList[rep]
+											}
+											opts.Seed = seed
+											if err := scenario.Validate(opts); err != nil {
+												return nil, fmt.Errorf("runner: run %s: %w", key, err)
+											}
+											runs = append(runs, Run{
+												Index:   len(runs),
+												Key:     key,
+												Variant: v.Name,
+												Rep:     rep,
+												Seed:    seed,
+												Opts:    opts,
+											})
+										}
 									}
-									seen[key] = true
-									opts := c.Base
-									if err := v.apply(&opts); err != nil {
-										return nil, err
-									}
-									opts.Scheme = s
-									opts.OfferedLoadKbps = load
-									if len(c.Nodes) > 0 {
-										opts.Nodes = n
-									}
-									if len(c.SpeedsMps) > 0 {
-										opts.SpeedMin, opts.SpeedMax = sp, sp
-									}
-									if len(c.ShadowingDB) > 0 {
-										opts.ShadowingSigmaDB = sh
-									}
-									if len(c.SafetyFactors) > 0 {
-										opts.SafetyFactor = sf
-									}
-									seed := DeriveSeed(baseSeed, key)
-									if len(c.SeedList) > 0 {
-										seed = c.SeedList[rep]
-									}
-									opts.Seed = seed
-									if err := scenario.Validate(opts); err != nil {
-										return nil, fmt.Errorf("runner: run %s: %w", key, err)
-									}
-									runs = append(runs, Run{
-										Index:   len(runs),
-										Key:     key,
-										Variant: v.Name,
-										Rep:     rep,
-										Seed:    seed,
-										Opts:    opts,
-									})
 								}
 							}
 						}
@@ -305,12 +344,19 @@ func (c Campaign) Runs() ([]Run, error) {
 // runKey builds the stable identifier of one run. Axes the campaign
 // does not sweep are omitted so keys stay short and resumable
 // checkpoints survive adding defaults.
-func (c Campaign) runKey(v Variant, s mac.Scheme, load float64, n int, sp, sh, sf float64, rep int) string {
+func (c Campaign) runKey(v Variant, s mac.Scheme, tr, top string, load float64, n int, sp, sh, sf float64, rep int) string {
 	var b strings.Builder
 	if len(c.Variants) > 0 {
 		fmt.Fprintf(&b, "v=%s/", v.Name)
 	}
-	fmt.Fprintf(&b, "s=%s/load=%g", s, load)
+	fmt.Fprintf(&b, "s=%s", s)
+	if len(c.Traffics) > 0 {
+		fmt.Fprintf(&b, "/tr=%s", tr)
+	}
+	if len(c.Topologies) > 0 {
+		fmt.Fprintf(&b, "/top=%s", top)
+	}
+	fmt.Fprintf(&b, "/load=%g", load)
 	if len(c.Nodes) > 0 {
 		fmt.Fprintf(&b, "/n=%d", n)
 	}

@@ -568,40 +568,73 @@ func TestSingleRunRecord(t *testing.T) {
 	}
 }
 
-// TestExecuteRepeatDeterministic is the regression test for the
-// fixed-order float summation in the radio's interference tracking: a
-// full 50-node mobile campaign must emit byte-identical JSONL on every
-// execution. Before the arrival bookkeeping moved from a map to an
-// ordered slice, in-band power was summed in Go's randomised map
-// iteration order, so two runs of the same campaign could round
-// differently and diverge — exactly what this test would catch.
+// TestExecuteRepeatDeterministic requires byte-identical JSONL on
+// every execution of the same campaign. The cbr-mobile case is the
+// regression test for the fixed-order float summation in the radio's
+// interference tracking: before the arrival bookkeeping moved from a
+// map to an ordered slice, in-band power was summed in Go's randomised
+// map iteration order, so two runs of the same campaign could round
+// differently and diverge. The bursty-clustered case extends the same
+// contract to the stochastic workload models and generated placements:
+// every source's RNG and the topology generator's draws must derive
+// from the run seed alone.
 func TestExecuteRepeatDeterministic(t *testing.T) {
-	c := Campaign{
-		Name: "repeat50",
-		Base: scenario.Options{
-			Nodes:    50,
-			Duration: 2 * sim.Second,
-			Warmup:   sim.Duration(sim.Second / 2),
+	base := scenario.Options{
+		Duration: 2 * sim.Second,
+		Warmup:   sim.Duration(sim.Second / 2),
+	}
+	cases := []struct {
+		name string
+		c    Campaign
+	}{
+		{
+			name: "cbr-mobile",
+			c: Campaign{
+				Name:      "repeat50",
+				Base:      withNodes(base, 50),
+				Schemes:   []mac.Scheme{mac.PCMAC},
+				LoadsKbps: []float64{400},
+				Reps:      1,
+			},
 		},
-		Schemes:   []mac.Scheme{mac.PCMAC},
-		LoadsKbps: []float64{400},
-		Reps:      1,
+		{
+			name: "bursty-clustered",
+			c: Campaign{
+				Name:       "repeat-bursty",
+				Base:       withNodes(base, 30),
+				Schemes:    []mac.Scheme{mac.PCMAC},
+				Traffics:   []string{"poisson", "onoff", "pareto", "reqresp"},
+				Topologies: []string{"clusters"},
+				LoadsKbps:  []float64{300},
+				Reps:       1,
+			},
+		},
 	}
-	var first bytes.Buffer
-	if _, err := Execute(c, ExecOptions{Workers: 2, Out: &first}); err != nil {
-		t.Fatal(err)
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var first bytes.Buffer
+			if _, err := Execute(tc.c, ExecOptions{Workers: 2, Out: &first}); err != nil {
+				t.Fatal(err)
+			}
+			if first.Len() == 0 {
+				t.Fatal("campaign emitted nothing")
+			}
+			for i := 0; i < 2; i++ {
+				var again bytes.Buffer
+				if _, err := Execute(tc.c, ExecOptions{Workers: 2, Out: &again}); err != nil {
+					t.Fatal(err)
+				}
+				if !bytes.Equal(first.Bytes(), again.Bytes()) {
+					t.Fatalf("execution %d JSONL differs from the first:\n--- first ---\n%s--- again ---\n%s",
+						i+2, first.String(), again.String())
+				}
+			}
+		})
 	}
-	if first.Len() == 0 {
-		t.Fatal("campaign emitted nothing")
-	}
-	for i := 0; i < 2; i++ {
-		var again bytes.Buffer
-		if _, err := Execute(c, ExecOptions{Workers: 2, Out: &again}); err != nil {
-			t.Fatal(err)
-		}
-		if !bytes.Equal(first.Bytes(), again.Bytes()) {
-			t.Fatalf("execution %d JSONL differs from the first:\n--- first ---\n%s--- again ---\n%s",
-				i+2, first.String(), again.String())
-		}
-	}
+}
+
+// withNodes returns base with the node count set.
+func withNodes(base scenario.Options, n int) scenario.Options {
+	base.Nodes = n
+	return base
 }

@@ -24,6 +24,8 @@ type CampaignFile struct {
 	Base          scenario.FileConfig `json:"base"`
 	Variants      []Variant           `json:"variants,omitempty"`
 	Schemes       []string            `json:"schemes,omitempty"`
+	Traffics      []string            `json:"traffics,omitempty"`
+	Topologies    []string            `json:"topologies,omitempty"`
 	LoadsKbps     []float64           `json:"loads_kbps,omitempty"`
 	Nodes         []int               `json:"nodes,omitempty"`
 	SpeedsMps     []float64           `json:"speeds_mps,omitempty"`
@@ -50,6 +52,8 @@ func (cf CampaignFile) Campaign() (Campaign, error) {
 		Name:          cf.Name,
 		Base:          opts,
 		Variants:      cf.Variants,
+		Traffics:      cf.Traffics,
+		Topologies:    cf.Topologies,
 		LoadsKbps:     cf.LoadsKbps,
 		Nodes:         cf.Nodes,
 		SpeedsMps:     cf.SpeedsMps,
@@ -76,6 +80,8 @@ func (c Campaign) File() CampaignFile {
 		Name:          c.Name,
 		Base:          scenario.ToFileConfig(c.Base),
 		Variants:      c.Variants,
+		Traffics:      c.Traffics,
+		Topologies:    c.Topologies,
 		LoadsKbps:     c.LoadsKbps,
 		Nodes:         c.Nodes,
 		SpeedsMps:     c.SpeedsMps,

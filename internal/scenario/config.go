@@ -9,6 +9,7 @@ import (
 	"repro/internal/mac"
 	"repro/internal/packet"
 	"repro/internal/sim"
+	"repro/internal/traffic"
 )
 
 // FileConfig is the JSON representation of a scenario, with durations in
@@ -32,6 +33,11 @@ type FileConfig struct {
 	SpeedMax           float64      `json:"speed_max_mps,omitempty"`
 	PauseS             float64      `json:"pause_s,omitempty"`
 	Flows              int          `json:"flows,omitempty"`
+	Traffic            string       `json:"traffic,omitempty"`
+	BurstFactor        float64      `json:"burst_factor,omitempty"`
+	ParetoShape        float64      `json:"pareto_shape,omitempty"`
+	ResponseBytes      int          `json:"response_bytes,omitempty"`
+	Topology           string       `json:"topology,omitempty"`
 	OfferedLoadKbps    float64      `json:"offered_load_kbps,omitempty"`
 	PacketBytes        int          `json:"packet_bytes,omitempty"`
 	DurationS          float64      `json:"duration_s,omitempty"`
@@ -64,6 +70,11 @@ func (fc FileConfig) Options() (Options, error) {
 		SpeedMax:           fc.SpeedMax,
 		Pause:              sim.DurationOf(fc.PauseS),
 		Flows:              fc.Flows,
+		Traffic:            fc.Traffic,
+		BurstFactor:        fc.BurstFactor,
+		ParetoShape:        fc.ParetoShape,
+		ResponseBytes:      fc.ResponseBytes,
+		Topology:           fc.Topology,
 		OfferedLoadKbps:    fc.OfferedLoadKbps,
 		PacketBytes:        fc.PacketBytes,
 		Duration:           sim.DurationOf(fc.DurationS),
@@ -114,6 +125,30 @@ func validate(o Options) error {
 		return fmt.Errorf("scenario: warmup %v >= duration %v", o.Warmup, o.Duration)
 	case o.ShadowingSigmaDB < 0:
 		return fmt.Errorf("scenario: negative shadowing sigma")
+	case o.BurstFactor < 0 || (o.BurstFactor > 0 && o.BurstFactor <= 1):
+		return fmt.Errorf("scenario: burst factor %g must exceed 1", o.BurstFactor)
+	case o.ParetoShape < 0 || (o.ParetoShape > 0 && o.ParetoShape <= 1):
+		return fmt.Errorf("scenario: pareto shape %g must exceed 1", o.ParetoShape)
+	case o.ResponseBytes < 0:
+		return fmt.Errorf("scenario: negative response bytes")
+	}
+	if _, err := traffic.ParseModel(o.Traffic); err != nil {
+		return err
+	}
+	if err := CheckTopology(o.Topology); err != nil {
+		return err
+	}
+	// Reject flow counts that exceed the ordered pairs of the defaulted
+	// node count here, at spec time, rather than letting PickPairs
+	// panic inside a campaign worker mid-run. withDefaults itself
+	// supplies the effective counts (Static overriding Nodes, the
+	// paper's 50-node default) so this check can't drift from them; an
+	// explicit FlowPairs list bypasses pair picking entirely.
+	if len(o.FlowPairs) == 0 && o.Flows > 0 {
+		d := o.withDefaults()
+		if maxPairs := d.Nodes * (d.Nodes - 1); d.Flows > maxPairs {
+			return fmt.Errorf("scenario: %d flows exceed the %d ordered pairs of %d nodes", d.Flows, maxPairs, d.Nodes)
+		}
 	}
 	for _, fp := range o.FlowPairs {
 		if fp[0] == fp[1] {
@@ -148,6 +183,11 @@ func ToFileConfig(o Options) FileConfig {
 		SpeedMax:           o.SpeedMax,
 		PauseS:             o.Pause.Seconds(),
 		Flows:              o.Flows,
+		Traffic:            o.Traffic,
+		BurstFactor:        o.BurstFactor,
+		ParetoShape:        o.ParetoShape,
+		ResponseBytes:      o.ResponseBytes,
+		Topology:           o.Topology,
 		OfferedLoadKbps:    o.OfferedLoadKbps,
 		PacketBytes:        o.PacketBytes,
 		DurationS:          o.Duration.Seconds(),

@@ -97,6 +97,13 @@ func TestConfigValidation(t *testing.T) {
 		{Scheme: "pcmac", DurationS: 10, WarmupS: 20},
 		{Scheme: "pcmac", ShadowingSigmaDB: -1},
 		{Scheme: "pcmac", FlowPairs: [][2]uint16{{3, 3}}},
+		{Scheme: "pcmac", Traffic: "fractal"},
+		{Scheme: "pcmac", Topology: "torus"},
+		{Scheme: "pcmac", BurstFactor: 1},
+		{Scheme: "pcmac", ParetoShape: 0.5},
+		{Scheme: "pcmac", ResponseBytes: -1},
+		{Scheme: "pcmac", Nodes: 3, Flows: 12},
+		{Scheme: "pcmac", Flows: 5000}, // default 50 nodes: 2450 pairs
 	}
 	for i, fc := range cases {
 		if _, err := fc.Options(); err == nil {

@@ -37,8 +37,24 @@ type Options struct {
 	SpeedMin, SpeedMax float64
 	// Pause is the waypoint dwell (3 s).
 	Pause sim.Duration
-	// Flows is the number of CBR pairs (10).
+	// Flows is the number of source-destination pairs (10).
 	Flows int
+	// Traffic selects the workload model by name (traffic.Models; ""
+	// keeps the paper's CBR).
+	Traffic string
+	// BurstFactor is the on-off/pareto peak-to-mean rate ratio
+	// (default 4).
+	BurstFactor float64
+	// ParetoShape is the pareto model's tail index (default 1.5).
+	ParetoShape float64
+	// ResponseBytes is the reqresp model's response payload (default
+	// PacketBytes). The request rate is scaled so request + response
+	// payload together match the flow's offered-load share.
+	ResponseBytes int
+	// Topology selects a placement generator by name (Topologies; ""
+	// keeps the paper's mobile uniform-random layout). A named topology
+	// pins nodes at generated positions, like Static.
+	Topology string
 	// OfferedLoadKbps is the aggregate offered load across all flows
 	// (the paper sweeps 300..1000).
 	OfferedLoadKbps float64
@@ -161,6 +177,15 @@ func (o Options) withDefaults() Options {
 	if o.TrafficStart == 0 {
 		o.TrafficStart = sim.Time(sim.Second)
 	}
+	if o.BurstFactor == 0 {
+		o.BurstFactor = traffic.DefaultBurstFactor
+	}
+	if o.ParetoShape == 0 {
+		o.ParetoShape = traffic.DefaultParetoShape
+	}
+	if o.ResponseBytes == 0 {
+		o.ResponseBytes = o.PacketBytes
+	}
 	return o
 }
 
@@ -171,6 +196,12 @@ type Result struct {
 	// The paper's two metrics.
 	ThroughputKbps float64
 	AvgDelayMs     float64
+	// Delay-distribution metrics: streaming P² percentile estimates
+	// over every in-window delivery and per-flow jitter, in ms.
+	DelayP50Ms float64
+	DelayP95Ms float64
+	DelayP99Ms float64
+	JitterMs   float64
 	// Secondary metrics.
 	PDR          float64
 	JainFairness float64
@@ -213,7 +244,7 @@ type Network struct {
 	DataCh    *phys.Channel
 	CtrlCh    *phys.Channel // nil unless PCMAC with control channel
 	Nodes     []*node.Node
-	Sources   []*traffic.CBR
+	Sources   []traffic.Source
 	Collector *stats.Collector
 	Timeline  *stats.Timeline // nil unless Options.TimelineBucket set
 }
@@ -242,6 +273,18 @@ func Build(o Options) (*Network, error) {
 	var uid uint64
 	nextUID := func() uint64 { uid++; return uid }
 
+	tmodel, err := traffic.ParseModel(o.Traffic)
+	if err != nil {
+		return nil, fmt.Errorf("scenario: %w", err)
+	}
+	if o.Topology != "" && len(o.Static) == 0 {
+		pts, err := GenTopology(o.Topology, o.Nodes, o.FieldW, o.FieldH, rand.New(rand.NewSource(master.Int63())))
+		if err != nil {
+			return nil, err
+		}
+		o.Static = pts
+	}
+
 	field := geom.NewField(o.FieldW, o.FieldH)
 	nw := &Network{Opts: o, Sched: sched, DataCh: dataCh, CtrlCh: ctrlCh}
 
@@ -266,6 +309,10 @@ func Build(o Options) (*Network, error) {
 		nw.Timeline = stats.NewTimeline(o.TimelineBucket)
 	}
 
+	// reqresp maps request flow IDs to their exchange so the delivery
+	// hook can trigger responses; populated when flows are built.
+	reqresp := make(map[uint32]*traffic.ReqResp)
+
 	epochs := mobility.NewEpochs(sched.Now)
 	for i := 0; i < o.Nodes; i++ {
 		var mob mobility.Model
@@ -285,6 +332,9 @@ func Build(o Options) (*Network, error) {
 				collector.PacketDelivered(np, sched.Now())
 				if nw.Timeline != nil {
 					nw.Timeline.PacketDelivered(np, sched.Now())
+				}
+				if rr, ok := reqresp[np.FlowID]; ok {
+					rr.OnDelivered(np, sched.Now())
 				}
 			}
 		}
@@ -307,25 +357,58 @@ func Build(o Options) (*Network, error) {
 		pairs = traffic.PickPairs(o.Nodes, o.Flows, master)
 	}
 	perFlowBps := o.OfferedLoadKbps * 1e3 / float64(len(pairs))
+	onGenerate := func(np *packet.NetPacket) {
+		collector.PacketSent(np)
+		if nw.Timeline != nil {
+			nw.Timeline.PacketSent(np)
+		}
+	}
 	for i, p := range pairs {
 		rate := perFlowBps
 		if o.FlowRateSpreadPct > 0 && len(pairs) > 1 {
 			frac := float64(i)/float64(len(pairs)-1) - 0.5
 			rate *= 1 + o.FlowRateSpreadPct/100*frac
 		}
+		if tmodel == traffic.ReqRespModel {
+			// Scale the request rate so request + response payload
+			// together carry the flow's offered-load share.
+			rate *= float64(o.PacketBytes) / float64(o.PacketBytes+o.ResponseBytes)
+		}
 		interval := traffic.IntervalFor(o.PacketBytes, rate)
-		src := nw.Nodes[p[0]]
-		cbr := traffic.NewCBR(sched, src.Router, uint32(i+1), p[0], p[1], o.PacketBytes, interval)
-		cbr.NextUID = nextUID
-		cbr.OnGenerate = func(np *packet.NetPacket) {
-			collector.PacketSent(np)
-			if nw.Timeline != nil {
-				nw.Timeline.PacketSent(np)
-			}
+		params := traffic.Params{
+			Sched:       sched,
+			Sender:      nw.Nodes[p[0]].Router,
+			FlowID:      uint32(i + 1),
+			Src:         p[0],
+			Dst:         p[1],
+			Bytes:       o.PacketBytes,
+			Interval:    interval,
+			BurstFactor: o.BurstFactor,
+			ParetoShape: o.ParetoShape,
+			NextUID:     nextUID,
+			OnGenerate:  onGenerate,
+		}
+		if tmodel != traffic.CBRModel {
+			// Each stochastic source owns its RNG; CBR draws nothing, so
+			// the master stream (and every CBR result) is untouched by
+			// the traffic axis existing.
+			params.RNG = rand.New(rand.NewSource(master.Int63()))
+		}
+		if tmodel == traffic.ReqRespModel {
+			params.RespSender = nw.Nodes[p[1]].Router
+			params.RespFlowID = uint32(len(pairs) + i + 1)
+			params.RespBytes = o.ResponseBytes
+		}
+		src, err := traffic.NewSource(tmodel, params)
+		if err != nil {
+			return nil, fmt.Errorf("scenario: %w", err)
+		}
+		if rr, ok := src.(*traffic.ReqResp); ok {
+			reqresp[rr.FlowID] = rr
 		}
 		jitter := sim.Duration(master.Int63n(int64(interval)))
-		cbr.Start(o.TrafficStart.Add(jitter), sim.Time(o.Duration))
-		nw.Sources = append(nw.Sources, cbr)
+		src.Start(o.TrafficStart.Add(jitter), sim.Time(o.Duration))
+		nw.Sources = append(nw.Sources, src)
 	}
 	return nw, nil
 }
@@ -341,6 +424,10 @@ func (nw *Network) Run() Result {
 		Opts:           o,
 		ThroughputKbps: nw.Collector.ThroughputKbps(),
 		AvgDelayMs:     nw.Collector.MeanDelayMs(),
+		DelayP50Ms:     nw.Collector.DelayP50Ms(),
+		DelayP95Ms:     nw.Collector.DelayP95Ms(),
+		DelayP99Ms:     nw.Collector.DelayP99Ms(),
+		JitterMs:       nw.Collector.JitterMs(),
 		PDR:            nw.Collector.PDR(),
 		JainFairness:   nw.Collector.JainFairness(),
 		Flows:          nw.Collector.Flows(),

@@ -1,0 +1,153 @@
+// Topology generators: deterministic node placements selected by name
+// from scenario config. A named topology pins nodes at generated
+// positions (overriding mobility), opening the non-uniform regimes —
+// lattices, hotspots, multihop corridors — the paper's single
+// random-waypoint layout cannot express. The empty name keeps the
+// paper's mobile uniform-random layout.
+package scenario
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+
+	"repro/internal/geom"
+)
+
+// The built-in topology generators.
+const (
+	// TopologyUniform scatters nodes i.i.d. uniformly over the field —
+	// the random-waypoint initial layout, frozen.
+	TopologyUniform = "uniform"
+	// TopologyGrid places nodes on a near-square lattice with a
+	// half-spacing margin.
+	TopologyGrid = "grid"
+	// TopologyClusters draws Gaussian clusters around uniformly placed
+	// centres — hotspot traffic concentrations.
+	TopologyClusters = "clusters"
+	// TopologyCorridor strings nodes along the field's horizontal
+	// midline with slight jitter — a multihop chain.
+	TopologyCorridor = "corridor"
+)
+
+// Topologies lists the built-in placement generators in a stable order.
+func Topologies() []string {
+	return []string{TopologyUniform, TopologyGrid, TopologyClusters, TopologyCorridor}
+}
+
+// CheckTopology validates a topology name from config; the empty name
+// (mobile uniform-random, the paper's layout) is always valid.
+func CheckTopology(name string) error {
+	switch name {
+	case "", TopologyUniform, TopologyGrid, TopologyClusters, TopologyCorridor:
+		return nil
+	}
+	return fmt.Errorf("scenario: unknown topology %q (have %v)", name, Topologies())
+}
+
+// GenTopology places n nodes on a w x h field with the named generator.
+// All randomness comes from rng, so a placement is reproducible from
+// the scenario seed alone.
+func GenTopology(name string, n int, w, h float64, rng *rand.Rand) ([]geom.Point, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("scenario: topology %q needs a positive node count", name)
+	}
+	switch name {
+	case TopologyUniform:
+		return genUniform(n, w, h, rng), nil
+	case TopologyGrid:
+		return genGrid(n, w, h), nil
+	case TopologyClusters:
+		return genClusters(n, w, h, rng), nil
+	case TopologyCorridor:
+		return genCorridor(n, w, h, rng), nil
+	}
+	return nil, CheckTopology(name)
+}
+
+func genUniform(n int, w, h float64, rng *rand.Rand) []geom.Point {
+	pts := make([]geom.Point, n)
+	for i := range pts {
+		pts[i] = geom.Point{X: rng.Float64() * w, Y: rng.Float64() * h}
+	}
+	return pts
+}
+
+// genGrid lays out the smallest near-square lattice holding n nodes,
+// row-major from the bottom-left, inset by half a cell. It is fully
+// deterministic — no rng draw — so the same n and field always give the
+// same lattice.
+func genGrid(n int, w, h float64) []geom.Point {
+	cols := int(math.Ceil(math.Sqrt(float64(n))))
+	rows := (n + cols - 1) / cols
+	dx := w / float64(cols)
+	dy := h / float64(rows)
+	pts := make([]geom.Point, 0, n)
+	for i := 0; i < n; i++ {
+		c := i % cols
+		r := i / cols
+		pts = append(pts, geom.Point{
+			X: (float64(c) + 0.5) * dx,
+			Y: (float64(r) + 0.5) * dy,
+		})
+	}
+	return pts
+}
+
+// genClusters draws k = clamp(n/10, 2, 8) cluster centres uniformly on
+// the inner 80% of the field, then scatters nodes round-robin across
+// the centres with Gaussian spread min(w,h)/15, clipped to the field.
+func genClusters(n int, w, h float64, rng *rand.Rand) []geom.Point {
+	k := n / 10
+	if k < 2 {
+		k = 2
+	}
+	if k > 8 {
+		k = 8
+	}
+	centres := make([]geom.Point, k)
+	for i := range centres {
+		centres[i] = geom.Point{
+			X: w * (0.1 + 0.8*rng.Float64()),
+			Y: h * (0.1 + 0.8*rng.Float64()),
+		}
+	}
+	sigma := math.Min(w, h) / 15
+	pts := make([]geom.Point, n)
+	for i := range pts {
+		c := centres[i%k]
+		pts[i] = geom.Point{
+			X: clamp(c.X+rng.NormFloat64()*sigma, 0, w),
+			Y: clamp(c.Y+rng.NormFloat64()*sigma, 0, h),
+		}
+	}
+	return pts
+}
+
+// genCorridor spaces nodes evenly along the horizontal midline with up
+// to a quarter-spacing of positional jitter, then sorts by x so node
+// IDs ascend along the chain.
+func genCorridor(n int, w, h float64, rng *rand.Rand) []geom.Point {
+	dx := w / float64(n+1)
+	jitter := dx / 4
+	pts := make([]geom.Point, n)
+	for i := range pts {
+		pts[i] = geom.Point{
+			X: clamp(float64(i+1)*dx+(rng.Float64()*2-1)*jitter, 0, w),
+			Y: clamp(h/2+(rng.Float64()*2-1)*jitter, 0, h),
+		}
+	}
+	sort.Slice(pts, func(i, j int) bool { return pts[i].X < pts[j].X })
+	return pts
+}
+
+func clamp(v, lo, hi float64) float64 {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}

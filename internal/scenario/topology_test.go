@@ -1,0 +1,163 @@
+package scenario
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/geom"
+	"repro/internal/mac"
+	"repro/internal/packet"
+	"repro/internal/sim"
+)
+
+func TestTopologiesGenerate(t *testing.T) {
+	for _, name := range Topologies() {
+		for _, n := range []int{1, 7, 50} {
+			pts, err := GenTopology(name, n, 1000, 800, rand.New(rand.NewSource(3)))
+			if err != nil {
+				t.Fatalf("%s n=%d: %v", name, n, err)
+			}
+			if len(pts) != n {
+				t.Fatalf("%s n=%d: %d points", name, n, len(pts))
+			}
+			for i, p := range pts {
+				if p.X < 0 || p.X > 1000 || p.Y < 0 || p.Y > 800 {
+					t.Fatalf("%s n=%d: point %d off-field: %v", name, n, i, p)
+				}
+			}
+		}
+	}
+}
+
+func TestTopologyDeterministic(t *testing.T) {
+	for _, name := range Topologies() {
+		a, _ := GenTopology(name, 30, 1000, 1000, rand.New(rand.NewSource(9)))
+		b, _ := GenTopology(name, 30, 1000, 1000, rand.New(rand.NewSource(9)))
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("%s: point %d differs across identical seeds: %v vs %v", name, i, a[i], b[i])
+			}
+		}
+	}
+}
+
+func TestTopologyGridLattice(t *testing.T) {
+	pts, err := GenTopology(TopologyGrid, 9, 900, 900, rand.New(rand.NewSource(1)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 9 nodes on a 900x900 field: 3x3 lattice at 150/450/750.
+	want := []float64{150, 450, 750}
+	for i, p := range pts {
+		if p.X != want[i%3] || p.Y != want[i/3] {
+			t.Fatalf("grid point %d = %v, want (%g,%g)", i, p, want[i%3], want[i/3])
+		}
+	}
+}
+
+func TestTopologyCorridorOrdered(t *testing.T) {
+	pts, err := GenTopology(TopologyCorridor, 20, 1000, 1000, rand.New(rand.NewSource(4)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < len(pts); i++ {
+		if pts[i].X < pts[i-1].X {
+			t.Fatalf("corridor x not ascending at %d: %v after %v", i, pts[i], pts[i-1])
+		}
+	}
+	for i, p := range pts {
+		if math.Abs(p.Y-500) > 1000/21.0 {
+			t.Fatalf("corridor point %d strays from the midline: %v", i, p)
+		}
+	}
+}
+
+// TestTopologyClustersConcentrated: clustered placements must be
+// measurably denser than uniform ones — mean nearest-neighbour
+// distance well below the uniform layout's.
+func TestTopologyClustersConcentrated(t *testing.T) {
+	nn := func(pts []geom.Point) float64 {
+		var sum float64
+		for i, p := range pts {
+			best := math.Inf(1)
+			for j, q := range pts {
+				if i == j {
+					continue
+				}
+				if d := p.Dist(q); d < best {
+					best = d
+				}
+			}
+			sum += best
+		}
+		return sum / float64(len(pts))
+	}
+	rng := rand.New(rand.NewSource(12))
+	cl, _ := GenTopology(TopologyClusters, 50, 1000, 1000, rng)
+	un, _ := GenTopology(TopologyUniform, 50, 1000, 1000, rng)
+	if nn(cl) >= nn(un)*0.7 {
+		t.Fatalf("clusters nn=%.1f m not concentrated vs uniform nn=%.1f m", nn(cl), nn(un))
+	}
+}
+
+func TestTopologyUnknown(t *testing.T) {
+	if err := CheckTopology("torus"); err == nil {
+		t.Error("unknown topology accepted")
+	}
+	if _, err := GenTopology("torus", 10, 100, 100, rand.New(rand.NewSource(1))); err == nil {
+		t.Error("unknown topology generated")
+	}
+	if _, err := GenTopology(TopologyGrid, 0, 100, 100, rand.New(rand.NewSource(1))); err == nil {
+		t.Error("zero-node topology generated")
+	}
+	if err := CheckTopology(""); err != nil {
+		t.Errorf("empty topology rejected: %v", err)
+	}
+}
+
+// TestBuildTopologyPinsNodes: a named topology must pin every node at
+// the generated static position for the whole run, reproducibly.
+func TestBuildTopologyPinsNodes(t *testing.T) {
+	opts := Options{
+		Scheme:   mac.Basic,
+		Nodes:    12,
+		Flows:    2,
+		Topology: TopologyGrid,
+		Duration: 2 * sim.Second,
+		Warmup:   sim.Duration(sim.Second / 2),
+		Seed:     5,
+	}
+	nw, err := Build(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(nw.Opts.Static) != 12 {
+		t.Fatalf("topology did not pin nodes: static = %d", len(nw.Opts.Static))
+	}
+	p0 := nw.Nodes[3].Mob.Pos(0)
+	if got := nw.Nodes[3].Mob.Pos(sim.Time(2 * sim.Second)); got != p0 {
+		t.Fatalf("topology node moved: %v -> %v", p0, got)
+	}
+	nw2, err := Build(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range nw.Opts.Static {
+		if nw.Opts.Static[i] != nw2.Opts.Static[i] {
+			t.Fatalf("placement differs across identical builds at node %d", i)
+		}
+	}
+	// An explicit Static layout wins over the generator.
+	fixed := []geom.Point{{X: 1, Y: 2}, {X: 3, Y: 4}}
+	opts.Static = fixed
+	opts.FlowPairs = [][2]packet.NodeID{{0, 1}}
+	opts.Flows = 1
+	nw3, err := Build(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(nw3.Opts.Static) != 2 || nw3.Opts.Static[0] != fixed[0] {
+		t.Fatalf("explicit static overridden: %v", nw3.Opts.Static)
+	}
+}

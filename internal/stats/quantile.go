@@ -1,0 +1,128 @@
+// Streaming quantile estimation for per-flow latency percentiles: the
+// P² algorithm (Jain & Chlamtac, CACM 1985) tracks one quantile with
+// five markers in O(1) space and deterministic arithmetic, so p50/p95/
+// p99 delay can be reported for every flow of every campaign run
+// without buffering per-packet samples.
+package stats
+
+import "sort"
+
+// Quantile estimates a single quantile of a stream. The zero value is
+// unusable; create with NewQuantile. Fewer than five observations are
+// answered exactly.
+type Quantile struct {
+	p     float64
+	count int
+	// Marker heights, positions, desired positions and desired-position
+	// increments, per the P² paper.
+	q    [5]float64
+	pos  [5]float64
+	want [5]float64
+	dn   [5]float64
+}
+
+// NewQuantile returns an estimator for the p-quantile (0 < p < 1).
+func NewQuantile(p float64) Quantile {
+	if p <= 0 || p >= 1 {
+		panic("stats: quantile out of (0,1)")
+	}
+	return Quantile{
+		p:    p,
+		want: [5]float64{1, 1 + 2*p, 1 + 4*p, 3 + 2*p, 5},
+		dn:   [5]float64{0, p / 2, p, (1 + p) / 2, 1},
+	}
+}
+
+// Add folds one observation in.
+func (e *Quantile) Add(x float64) {
+	if e.count < 5 {
+		e.q[e.count] = x
+		e.count++
+		if e.count == 5 {
+			sort.Float64s(e.q[:])
+			e.pos = [5]float64{1, 2, 3, 4, 5}
+		}
+		return
+	}
+	// Locate the cell and stretch the extremes.
+	var k int
+	switch {
+	case x < e.q[0]:
+		e.q[0] = x
+		k = 0
+	case x >= e.q[4]:
+		if x > e.q[4] {
+			e.q[4] = x
+		}
+		k = 3
+	default:
+		for k = 0; k < 3; k++ {
+			if x < e.q[k+1] {
+				break
+			}
+		}
+	}
+	for i := k + 1; i < 5; i++ {
+		e.pos[i]++
+	}
+	for i := 0; i < 5; i++ {
+		e.want[i] += e.dn[i]
+	}
+	e.count++
+	// Nudge the interior markers toward their desired positions.
+	for i := 1; i <= 3; i++ {
+		d := e.want[i] - e.pos[i]
+		if (d >= 1 && e.pos[i+1]-e.pos[i] > 1) || (d <= -1 && e.pos[i-1]-e.pos[i] < -1) {
+			s := 1.0
+			if d < 0 {
+				s = -1.0
+			}
+			qn := e.parabolic(i, s)
+			if !(e.q[i-1] < qn && qn < e.q[i+1]) {
+				qn = e.linear(i, s)
+			}
+			e.q[i] = qn
+			e.pos[i] += s
+		}
+	}
+}
+
+// parabolic is the P² piecewise-parabolic marker update.
+func (e *Quantile) parabolic(i int, s float64) float64 {
+	return e.q[i] + s/(e.pos[i+1]-e.pos[i-1])*
+		((e.pos[i]-e.pos[i-1]+s)*(e.q[i+1]-e.q[i])/(e.pos[i+1]-e.pos[i])+
+			(e.pos[i+1]-e.pos[i]-s)*(e.q[i]-e.q[i-1])/(e.pos[i]-e.pos[i-1]))
+}
+
+// linear is the fallback marker update when the parabola overshoots a
+// neighbour.
+func (e *Quantile) linear(i int, s float64) float64 {
+	j := i + int(s)
+	return e.q[i] + s*(e.q[j]-e.q[i])/(e.pos[j]-e.pos[i])
+}
+
+// Value returns the current estimate: exact for fewer than five
+// observations (0 for none), the P² middle marker otherwise.
+func (e *Quantile) Value() float64 {
+	if e.count == 0 {
+		return 0
+	}
+	if e.count < 5 {
+		buf := make([]float64, e.count)
+		copy(buf, e.q[:e.count])
+		sort.Float64s(buf)
+		// Nearest-rank on the partial sample.
+		idx := int(e.p*float64(e.count)+0.5) - 1
+		if idx < 0 {
+			idx = 0
+		}
+		if idx >= e.count {
+			idx = e.count - 1
+		}
+		return buf[idx]
+	}
+	return e.q[2]
+}
+
+// N returns the number of observations folded in.
+func (e *Quantile) N() int { return e.count }

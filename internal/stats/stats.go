@@ -12,13 +12,22 @@ import (
 	"repro/internal/sim"
 )
 
-// FlowStats aggregates one CBR flow.
+// FlowStats aggregates one traffic flow.
 type FlowStats struct {
 	FlowID    uint32
 	Sent      uint64
 	Delivered uint64
 	Bytes     uint64
 	DelaySum  sim.Duration
+
+	// Streaming latency-distribution snapshots, filled by
+	// Collector.Flows: delay percentiles (P² estimates) and jitter (the
+	// mean absolute difference between consecutive packets' delays), in
+	// milliseconds.
+	DelayP50Ms float64
+	DelayP95Ms float64
+	DelayP99Ms float64
+	JitterMs   float64
 }
 
 // PDR returns the flow's packet delivery ratio.
@@ -47,7 +56,7 @@ type Collector struct {
 	// End is the measurement window end (set before reading metrics).
 	End sim.Time
 
-	flows map[uint32]*FlowStats
+	flows map[uint32]*flowAcc
 
 	// WarmupSent/WarmupDelivered count pre-window traffic.
 	WarmupSent, WarmupDelivered uint64
@@ -56,6 +65,9 @@ type Collector struct {
 	Duplicates uint64
 
 	seen map[flowSeq]bool
+
+	// Network-wide delay digests over every in-window delivery.
+	p50, p95, p99 Quantile
 }
 
 type flowSeq struct {
@@ -63,19 +75,58 @@ type flowSeq struct {
 	seq  uint32
 }
 
+// flowAcc is the collector's mutable per-flow record: the exported
+// counters plus the streaming latency state behind the FlowStats
+// snapshot fields.
+type flowAcc struct {
+	FlowStats
+	p50, p95, p99 Quantile
+	lastDelay     sim.Duration
+	jitterSum     sim.Duration
+	jitterN       uint64
+}
+
+// jitterMs returns the flow's mean absolute consecutive-delay
+// difference in milliseconds.
+func (f *flowAcc) jitterMs() float64 {
+	if f.jitterN == 0 {
+		return 0
+	}
+	return f.jitterSum.Milliseconds() / float64(f.jitterN)
+}
+
+// snapshot freezes the flow's stats, filling the derived latency
+// fields.
+func (f *flowAcc) snapshot() FlowStats {
+	s := f.FlowStats
+	s.DelayP50Ms = f.p50.Value()
+	s.DelayP95Ms = f.p95.Value()
+	s.DelayP99Ms = f.p99.Value()
+	s.JitterMs = f.jitterMs()
+	return s
+}
+
 // NewCollector creates a collector with the given warmup boundary.
 func NewCollector(warmup sim.Time) *Collector {
 	return &Collector{
 		Warmup: warmup,
-		flows:  make(map[uint32]*FlowStats),
+		flows:  make(map[uint32]*flowAcc),
 		seen:   make(map[flowSeq]bool),
+		p50:    NewQuantile(0.50),
+		p95:    NewQuantile(0.95),
+		p99:    NewQuantile(0.99),
 	}
 }
 
-func (c *Collector) flow(id uint32) *FlowStats {
+func (c *Collector) flow(id uint32) *flowAcc {
 	f, ok := c.flows[id]
 	if !ok {
-		f = &FlowStats{FlowID: id}
+		f = &flowAcc{
+			FlowStats: FlowStats{FlowID: id},
+			p50:       NewQuantile(0.50),
+			p95:       NewQuantile(0.95),
+			p99:       NewQuantile(0.99),
+		}
 		c.flows[id] = f
 	}
 	return f
@@ -103,16 +154,34 @@ func (c *Collector) PacketDelivered(np *packet.NetPacket, now sim.Time) {
 	}
 	c.seen[key] = true
 	f := c.flow(np.FlowID)
+	d := now.Sub(np.CreatedAt)
 	f.Delivered++
 	f.Bytes += uint64(np.Bytes)
-	f.DelaySum += now.Sub(np.CreatedAt)
+	f.DelaySum += d
+
+	ms := d.Milliseconds()
+	f.p50.Add(ms)
+	f.p95.Add(ms)
+	f.p99.Add(ms)
+	c.p50.Add(ms)
+	c.p95.Add(ms)
+	c.p99.Add(ms)
+	if f.Delivered > 1 {
+		diff := d - f.lastDelay
+		if diff < 0 {
+			diff = -diff
+		}
+		f.jitterSum += diff
+		f.jitterN++
+	}
+	f.lastDelay = d
 }
 
 // Flows returns per-flow stats sorted by flow ID.
 func (c *Collector) Flows() []FlowStats {
 	out := make([]FlowStats, 0, len(c.flows))
 	for _, f := range c.flows {
-		out = append(out, *f)
+		out = append(out, f.snapshot())
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].FlowID < out[j].FlowID })
 	return out
@@ -158,6 +227,35 @@ func (c *Collector) MeanDelayMs() float64 {
 	for _, f := range c.flows {
 		sum += f.DelaySum
 		n += f.Delivered
+	}
+	if n == 0 {
+		return 0
+	}
+	return sum.Milliseconds() / float64(n)
+}
+
+// DelayP50Ms returns the network-wide median end-to-end delay (P²
+// estimate over every in-window delivery), in milliseconds.
+func (c *Collector) DelayP50Ms() float64 { return c.p50.Value() }
+
+// DelayP95Ms returns the network-wide 95th-percentile delay in
+// milliseconds.
+func (c *Collector) DelayP95Ms() float64 { return c.p95.Value() }
+
+// DelayP99Ms returns the network-wide 99th-percentile delay in
+// milliseconds.
+func (c *Collector) DelayP99Ms() float64 { return c.p99.Value() }
+
+// JitterMs returns the delivery-weighted mean of per-flow jitter (mean
+// absolute consecutive-delay difference), in milliseconds. Jitter is
+// computed within each flow — consecutive packets of different flows
+// never compare.
+func (c *Collector) JitterMs() float64 {
+	var sum sim.Duration
+	var n uint64
+	for _, f := range c.flows {
+		sum += f.jitterSum
+		n += f.jitterN
 	}
 	if n == 0 {
 		return 0

@@ -1,0 +1,382 @@
+// The non-CBR workload models: Poisson arrivals, exponential and
+// Pareto on-off bursts, and request-response exchanges. All are
+// parameterized by the same mean inter-packet gap as CBR, so sweeping
+// the traffic axis holds the offered load constant while changing only
+// its shape.
+package traffic
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"repro/internal/packet"
+	"repro/internal/sim"
+)
+
+// Default shape knobs, exposed so config layers can echo them.
+const (
+	// DefaultBurstFactor is the on-off peak-to-mean rate ratio.
+	DefaultBurstFactor = 4.0
+	// DefaultParetoShape is the Pareto tail index (1 < alpha <= 2 gives
+	// the heavy tails of self-similar traffic; 1.5 is the ns-2
+	// convention).
+	DefaultParetoShape = 1.5
+	// burstPackets is the mean number of packets per ON burst.
+	burstPackets = 8
+)
+
+// Params parameterizes NewSource. Interval is the mean inter-packet
+// gap; every model offers Bytes*8/Interval bits per second on average.
+type Params struct {
+	Sched  *sim.Scheduler
+	Sender Sender
+
+	FlowID   uint32
+	Src, Dst packet.NodeID
+	Bytes    int
+	Interval sim.Duration
+
+	// RNG drives the stochastic models (every model but cbr). Each
+	// source must own its RNG so flows decorrelate and schedules stay
+	// reproducible.
+	RNG *rand.Rand
+	// BurstFactor is the on-off peak-to-mean rate ratio (default 4).
+	BurstFactor float64
+	// ParetoShape is the Pareto tail index alpha > 1 (default 1.5).
+	ParetoShape float64
+
+	// RespSender, RespFlowID and RespBytes configure the reqresp
+	// model's response leg (RespBytes defaults to Bytes).
+	RespSender Sender
+	RespFlowID uint32
+	RespBytes  int
+
+	// NextUID and OnGenerate, when set, override the Flow defaults.
+	NextUID    func() uint64
+	OnGenerate func(np *packet.NetPacket)
+}
+
+// NewSource constructs the named workload model. It is the registry
+// entry point the scenario builder uses; the concrete constructors
+// remain available for direct use.
+func NewSource(m Model, p Params) (Source, error) {
+	m, err := ParseModel(string(m))
+	if err != nil {
+		return nil, err
+	}
+	if p.Interval <= 0 {
+		return nil, fmt.Errorf("traffic: non-positive mean interval %d", p.Interval)
+	}
+	if m != CBRModel && p.RNG == nil {
+		return nil, fmt.Errorf("traffic: model %q needs an RNG", m)
+	}
+	burst := p.BurstFactor
+	if burst == 0 {
+		burst = DefaultBurstFactor
+	}
+	if burst <= 1 {
+		return nil, fmt.Errorf("traffic: burst factor %g must exceed 1", burst)
+	}
+	shape := p.ParetoShape
+	if shape == 0 {
+		shape = DefaultParetoShape
+	}
+	if shape <= 1 {
+		return nil, fmt.Errorf("traffic: pareto shape %g must exceed 1 (finite mean)", shape)
+	}
+
+	var src Source
+	var flow *Flow
+	switch m {
+	case CBRModel:
+		c := NewCBR(p.Sched, p.Sender, p.FlowID, p.Src, p.Dst, p.Bytes, p.Interval)
+		src, flow = c, &c.Flow
+	case PoissonModel:
+		c := NewPoisson(p.Sched, p.Sender, p.FlowID, p.Src, p.Dst, p.Bytes, p.Interval, p.RNG)
+		src, flow = c, &c.Flow
+	case OnOffModel:
+		c := NewOnOff(p.Sched, p.Sender, p.FlowID, p.Src, p.Dst, p.Bytes, p.Interval, burst, p.RNG)
+		src, flow = c, &c.Flow
+	case ParetoModel:
+		c := NewPareto(p.Sched, p.Sender, p.FlowID, p.Src, p.Dst, p.Bytes, p.Interval, burst, shape, p.RNG)
+		src, flow = c, &c.Flow
+	case ReqRespModel:
+		if p.RespSender == nil {
+			return nil, fmt.Errorf("traffic: reqresp needs a response sender")
+		}
+		if p.RespFlowID == 0 || p.RespFlowID == p.FlowID {
+			return nil, fmt.Errorf("traffic: reqresp needs a distinct response flow ID (got %d)", p.RespFlowID)
+		}
+		if p.RespBytes < 0 {
+			return nil, fmt.Errorf("traffic: negative response payload %d", p.RespBytes)
+		}
+		respBytes := p.RespBytes
+		if respBytes == 0 {
+			respBytes = p.Bytes
+		}
+		c := NewReqResp(p.Sched, p.Sender, p.RespSender, p.FlowID, p.RespFlowID, p.Src, p.Dst, p.Bytes, respBytes, p.Interval, p.RNG)
+		src, flow = c, &c.Flow
+	default:
+		// Unreachable while the switch covers ParseModel's result set;
+		// fail loudly if a future model is registered without a
+		// constructor case instead of returning a nil Source.
+		return nil, fmt.Errorf("traffic: model %q has no constructor", m)
+	}
+	if p.NextUID != nil {
+		flow.NextUID = p.NextUID
+	}
+	if p.OnGenerate != nil {
+		flow.OnGenerate = p.OnGenerate
+	}
+	return src, nil
+}
+
+// expDur draws an exponential duration with the given mean, floored at
+// one tick so zero-length periods cannot stall the event loop.
+func expDur(rng *rand.Rand, mean sim.Duration) sim.Duration {
+	d := sim.DurationOf(rng.ExpFloat64() * mean.Seconds())
+	if d < 1 {
+		d = 1
+	}
+	return d
+}
+
+// paretoDur draws a Pareto(shape) duration with the given mean:
+// scale = mean*(shape-1)/shape, X = scale/U^(1/shape).
+func paretoDur(rng *rand.Rand, mean sim.Duration, shape float64) sim.Duration {
+	u := rng.Float64()
+	for u == 0 {
+		u = rng.Float64()
+	}
+	scale := mean.Seconds() * (shape - 1) / shape
+	d := sim.DurationOf(scale / math.Pow(u, 1/shape))
+	if d < 1 {
+		d = 1
+	}
+	return d
+}
+
+// Poisson generates packets with exponential inter-arrival gaps of the
+// given mean — the memoryless counterpart of CBR at the same rate.
+type Poisson struct {
+	Flow
+	// Mean is the mean inter-packet gap.
+	Mean sim.Duration
+
+	rng   *rand.Rand
+	timer *sim.Timer
+}
+
+// NewPoisson creates a Poisson source delivering packets into sender.
+func NewPoisson(sched *sim.Scheduler, sender Sender, flowID uint32, src, dst packet.NodeID, bytes int, mean sim.Duration, rng *rand.Rand) *Poisson {
+	c := &Poisson{}
+	initPoisson(c, sched, sender, flowID, src, dst, bytes, mean, rng)
+	return c
+}
+
+// initPoisson fills a caller-allocated Poisson in place, binding its
+// timer to that struct — which is what lets ReqResp embed a working
+// Poisson by value.
+func initPoisson(c *Poisson, sched *sim.Scheduler, sender Sender, flowID uint32, src, dst packet.NodeID, bytes int, mean sim.Duration, rng *rand.Rand) {
+	if mean <= 0 {
+		panic(fmt.Sprintf("traffic: non-positive Poisson mean %d", mean))
+	}
+	c.Flow = newFlow(sched, sender, flowID, src, dst, bytes)
+	c.Mean = mean
+	c.rng = rng
+	c.timer = sim.NewTimer(sched, c.tick)
+}
+
+// RateBps returns the flow's mean offered bit rate.
+func (c *Poisson) RateBps() float64 { return float64(c.Bytes*8) / c.Mean.Seconds() }
+
+// Start begins generation at time start and stops it at until.
+func (c *Poisson) Start(start, until sim.Time) {
+	c.until = until
+	c.timer.StartAt(start)
+}
+
+// Stop halts generation.
+func (c *Poisson) Stop() { c.timer.Stop() }
+
+func (c *Poisson) tick() {
+	now := c.sched.Now()
+	if now >= c.until {
+		return
+	}
+	c.emit(now)
+	c.timer.Start(expDur(c.rng, c.Mean))
+}
+
+// OnOff alternates ON bursts — packets at BurstFactor times the mean
+// rate — with silent OFF periods sized so the long-run rate matches the
+// mean. The period samplers distinguish the exponential (onoff) and
+// Pareto (pareto) variants.
+type OnOff struct {
+	Flow
+	// Mean is the long-run mean inter-packet gap.
+	Mean sim.Duration
+	// PeakGap is the packet spacing inside a burst (Mean/BurstFactor).
+	PeakGap sim.Duration
+
+	drawOn  func() sim.Duration
+	drawOff func() sim.Duration
+	timer   *sim.Timer
+	onUntil sim.Time
+}
+
+// NewOnOff creates an exponential on-off source: ON and OFF durations
+// are exponential with means chosen so bursts average around
+// burstPackets packets at burstFactor times the mean rate, and the
+// long-run rate matches the mean.
+func NewOnOff(sched *sim.Scheduler, sender Sender, flowID uint32, src, dst packet.NodeID, bytes int, mean sim.Duration, burstFactor float64, rng *rand.Rand) *OnOff {
+	c := newOnOff(sched, sender, flowID, src, dst, bytes, mean, burstFactor)
+	meanOn, meanOff := c.periodMeans()
+	c.drawOn = func() sim.Duration { return expDur(rng, meanOn) }
+	c.drawOff = func() sim.Duration { return expDur(rng, meanOff) }
+	return c
+}
+
+// NewPareto creates a Pareto on-off source: same duty cycle as NewOnOff
+// but ON/OFF durations are Pareto(shape) distributed, producing the
+// occasional very long burst or silence of heavy-tailed traffic.
+func NewPareto(sched *sim.Scheduler, sender Sender, flowID uint32, src, dst packet.NodeID, bytes int, mean sim.Duration, burstFactor, shape float64, rng *rand.Rand) *OnOff {
+	if shape <= 1 {
+		panic(fmt.Sprintf("traffic: pareto shape %g must exceed 1", shape))
+	}
+	c := newOnOff(sched, sender, flowID, src, dst, bytes, mean, burstFactor)
+	meanOn, meanOff := c.periodMeans()
+	c.drawOn = func() sim.Duration { return paretoDur(rng, meanOn, shape) }
+	c.drawOff = func() sim.Duration { return paretoDur(rng, meanOff, shape) }
+	return c
+}
+
+func newOnOff(sched *sim.Scheduler, sender Sender, flowID uint32, src, dst packet.NodeID, bytes int, mean sim.Duration, burstFactor float64) *OnOff {
+	if mean <= 0 {
+		panic(fmt.Sprintf("traffic: non-positive on-off mean %d", mean))
+	}
+	if burstFactor <= 1 {
+		panic(fmt.Sprintf("traffic: burst factor %g must exceed 1", burstFactor))
+	}
+	c := &OnOff{
+		Flow:    newFlow(sched, sender, flowID, src, dst, bytes),
+		Mean:    mean,
+		PeakGap: sim.DurationOf(mean.Seconds() / burstFactor),
+	}
+	if c.PeakGap < 1 {
+		c.PeakGap = 1
+	}
+	c.timer = sim.NewTimer(sched, c.tick)
+	return c
+}
+
+// periodMeans sizes the ON/OFF period means so the long-run rate hits
+// the mean exactly. A burst of duration L emits ceil(L/PeakGap)
+// packets (one opens the burst), so the expected packets per cycle is
+// meanOn/PeakGap + ~0.5, not meanOn/PeakGap; the cycle length is sized
+// for that actual count, without which on-off sources would offer ~5%
+// over nominal and skew cross-model comparisons at the "same" load.
+func (c *OnOff) periodMeans() (on, off sim.Duration) {
+	on = sim.Duration(burstPackets) * c.PeakGap
+	cycle := (burstPackets + 0.5) * c.Mean.Seconds()
+	off = sim.DurationOf(cycle - on.Seconds())
+	return on, off
+}
+
+// RateBps returns the flow's long-run mean offered bit rate.
+func (c *OnOff) RateBps() float64 { return float64(c.Bytes*8) / c.Mean.Seconds() }
+
+// Start begins generation at time start (opening an ON burst) and stops
+// it at until.
+func (c *OnOff) Start(start, until sim.Time) {
+	c.until = until
+	c.onUntil = start.Add(c.drawOn())
+	c.timer.StartAt(start)
+}
+
+// Stop halts generation.
+func (c *OnOff) Stop() { c.timer.Stop() }
+
+func (c *OnOff) tick() {
+	now := c.sched.Now()
+	if now >= c.until {
+		return
+	}
+	if now >= c.onUntil {
+		// Burst over: stay silent through an OFF period, then open the
+		// next burst.
+		restart := now.Add(c.drawOff())
+		c.onUntil = restart.Add(c.drawOn())
+		c.timer.StartAt(restart)
+		return
+	}
+	c.emit(now)
+	c.timer.Start(c.PeakGap)
+}
+
+// ReqResp layers request-response exchange on a Poisson request stream:
+// every request delivered end-to-end triggers a response packet from
+// the destination back to the source, on its own flow ID so both
+// directions are measured independently. The scenario calls OnDelivered
+// from its delivery hook to close the loop.
+type ReqResp struct {
+	Poisson
+	// RespFlowID tags the response direction.
+	RespFlowID uint32
+	// RespBytes is the response payload size.
+	RespBytes int
+	// Responded counts responses injected.
+	Responded uint64
+
+	respSender Sender
+	respSeq    uint32
+	seenReq    map[uint32]bool
+}
+
+// NewReqResp creates a request-response source: requests of bytes from
+// src to dst into sender, responses of respBytes from dst back to src
+// into respSender (the destination node's network layer).
+func NewReqResp(sched *sim.Scheduler, sender, respSender Sender, flowID, respFlowID uint32, src, dst packet.NodeID, bytes, respBytes int, mean sim.Duration, rng *rand.Rand) *ReqResp {
+	if respBytes <= 0 {
+		panic(fmt.Sprintf("traffic: non-positive response payload %d", respBytes))
+	}
+	r := &ReqResp{
+		RespFlowID: respFlowID,
+		RespBytes:  respBytes,
+		respSender: respSender,
+		seenReq:    make(map[uint32]bool),
+	}
+	initPoisson(&r.Poisson, sched, sender, flowID, src, dst, bytes, mean, rng)
+	return r
+}
+
+// OnDelivered reacts to the end-to-end delivery of one of this flow's
+// request packets by injecting the response at the destination. The
+// response is created at delivery time, so its measured delay is the
+// return trip alone. Each request answers at most once: MAC-level
+// retransmission races can deliver the same packet twice, and a
+// duplicate request must not inflate the response stream.
+func (r *ReqResp) OnDelivered(np *packet.NetPacket, now sim.Time) {
+	if r.seenReq[np.Seq] {
+		return
+	}
+	r.seenReq[np.Seq] = true
+	r.respSeq++
+	resp := &packet.NetPacket{
+		UID:       r.NextUID(),
+		Proto:     packet.ProtoUDP,
+		Src:       r.Dst,
+		Dst:       r.Src,
+		TTL:       32,
+		Bytes:     r.RespBytes,
+		FlowID:    r.RespFlowID,
+		Seq:       r.respSeq,
+		CreatedAt: now,
+	}
+	r.Responded++
+	if r.OnGenerate != nil {
+		r.OnGenerate(resp)
+	}
+	r.respSender.Send(resp)
+}

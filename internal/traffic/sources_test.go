@@ -1,0 +1,244 @@
+package traffic
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/packet"
+	"repro/internal/sim"
+)
+
+// runSource drives a freshly built source of the given model for
+// horizon seconds and returns the captured packets.
+func runSource(t *testing.T, m Model, seed int64, horizon sim.Duration) []*packet.NetPacket {
+	t.Helper()
+	sched := sim.NewScheduler()
+	snd := &captureSender{}
+	src, err := NewSource(m, Params{
+		Sched:      sched,
+		Sender:     snd,
+		FlowID:     1,
+		Src:        0,
+		Dst:        5,
+		Bytes:      512,
+		Interval:   100 * sim.Millisecond,
+		RNG:        rand.New(rand.NewSource(seed)),
+		RespSender: snd,
+		RespFlowID: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	src.Start(0, sim.Time(horizon))
+	sched.RunAll()
+	return snd.pkts
+}
+
+// TestSourceMeanRates checks every model offers its nominal mean rate:
+// 10 pkt/s of 512 B over a long horizon, within a tolerance wide
+// enough for the heavy-tailed models' slow convergence.
+func TestSourceMeanRates(t *testing.T) {
+	const horizon = 2000 * sim.Second
+	want := 10.0 * horizon.Seconds()
+	for _, tc := range []struct {
+		model Model
+		tol   float64
+	}{
+		{CBRModel, 0.01},
+		{PoissonModel, 0.05},
+		{OnOffModel, 0.05},
+		{ParetoModel, 0.25},
+	} {
+		pkts := runSource(t, tc.model, 42, horizon)
+		got := float64(len(pkts))
+		if math.Abs(got-want)/want > tc.tol {
+			t.Errorf("%s: generated %d packets over %v, want %.0f ±%.0f%%",
+				tc.model, len(pkts), horizon, want, tc.tol*100)
+		}
+	}
+}
+
+// cv returns the coefficient of variation of the inter-arrival gaps.
+func cv(pkts []*packet.NetPacket) float64 {
+	var gaps []float64
+	for i := 1; i < len(pkts); i++ {
+		gaps = append(gaps, pkts[i].CreatedAt.Sub(pkts[i-1].CreatedAt).Seconds())
+	}
+	var mean float64
+	for _, g := range gaps {
+		mean += g
+	}
+	mean /= float64(len(gaps))
+	var ss float64
+	for _, g := range gaps {
+		d := g - mean
+		ss += d * d
+	}
+	return math.Sqrt(ss/float64(len(gaps))) / mean
+}
+
+// TestSourceBurstiness orders the models by inter-arrival variability:
+// CBR is deterministic (CV ~0), Poisson memoryless (CV ~1), and the
+// on-off models burstier still.
+func TestSourceBurstiness(t *testing.T) {
+	const horizon = 1000 * sim.Second
+	cvs := make(map[Model]float64)
+	for _, m := range []Model{CBRModel, PoissonModel, OnOffModel, ParetoModel} {
+		pkts := runSource(t, m, 7, horizon)
+		if len(pkts) < 100 {
+			t.Fatalf("%s: only %d packets", m, len(pkts))
+		}
+		cvs[m] = cv(pkts)
+	}
+	if cvs[CBRModel] > 1e-9 {
+		t.Errorf("cbr CV = %g, want 0", cvs[CBRModel])
+	}
+	if math.Abs(cvs[PoissonModel]-1) > 0.15 {
+		t.Errorf("poisson CV = %g, want ~1", cvs[PoissonModel])
+	}
+	if cvs[OnOffModel] < 1.2 {
+		t.Errorf("onoff CV = %g, want > 1.2 (burstier than poisson)", cvs[OnOffModel])
+	}
+	if cvs[ParetoModel] < 1.2 {
+		t.Errorf("pareto CV = %g, want > 1.2 (burstier than poisson)", cvs[ParetoModel])
+	}
+}
+
+// TestSourceSchedulesDeterministic requires byte-identical packet
+// schedules (creation time, seq) across two runs with the same seed —
+// the property the campaign runner's reproducibility contract rests on.
+func TestSourceSchedulesDeterministic(t *testing.T) {
+	for _, m := range Models() {
+		a := runSource(t, m, 99, 200*sim.Second)
+		b := runSource(t, m, 99, 200*sim.Second)
+		if len(a) != len(b) {
+			t.Errorf("%s: %d vs %d packets across identical runs", m, len(a), len(b))
+			continue
+		}
+		for i := range a {
+			if a[i].CreatedAt != b[i].CreatedAt || a[i].Seq != b[i].Seq {
+				t.Errorf("%s: packet %d differs: (%v, %d) vs (%v, %d)",
+					m, i, a[i].CreatedAt, a[i].Seq, b[i].CreatedAt, b[i].Seq)
+				break
+			}
+		}
+		// A different seed must change the stochastic schedules.
+		if m == CBRModel {
+			continue
+		}
+		c := runSource(t, m, 100, 200*sim.Second)
+		same := len(a) == len(c)
+		if same {
+			for i := range a {
+				if a[i].CreatedAt != c[i].CreatedAt {
+					same = false
+					break
+				}
+			}
+		}
+		if same {
+			t.Errorf("%s: schedule identical under a different seed", m)
+		}
+	}
+}
+
+// TestReqResp closes the loop by hand: every "delivered" request must
+// trigger one response from dst back to src on the response flow.
+func TestReqResp(t *testing.T) {
+	sched := sim.NewScheduler()
+	req := &captureSender{}
+	resp := &captureSender{}
+	r := NewReqResp(sched, req, resp, 1, 9, 3, 8, 512, 128, 100*sim.Millisecond, rand.New(rand.NewSource(1)))
+	uid := uint64(0)
+	r.NextUID = func() uint64 { uid++; return uid }
+	r.Start(0, sim.Time(20*sim.Second))
+	sched.RunAll()
+	if len(req.pkts) == 0 {
+		t.Fatal("no requests generated")
+	}
+	// Deliver every other request.
+	delivered := 0
+	for i, np := range req.pkts {
+		if i%2 == 0 {
+			r.OnDelivered(np, np.CreatedAt.Add(5*sim.Millisecond))
+			delivered++
+		}
+	}
+	if len(resp.pkts) != delivered {
+		t.Fatalf("responses = %d, want %d", len(resp.pkts), delivered)
+	}
+	if r.Responded != uint64(delivered) {
+		t.Fatalf("Responded = %d, want %d", r.Responded, delivered)
+	}
+	for i, np := range resp.pkts {
+		if np.FlowID != 9 || np.Src != 8 || np.Dst != 3 || np.Bytes != 128 {
+			t.Fatalf("response fields wrong: %+v", np)
+		}
+		if np.Seq != uint32(i+1) {
+			t.Fatalf("response %d seq = %d", i, np.Seq)
+		}
+	}
+	// A duplicate delivery of an already-answered request (MAC
+	// retransmission race) must not inject a second response.
+	r.OnDelivered(req.pkts[0], req.pkts[0].CreatedAt.Add(50*sim.Millisecond))
+	if len(resp.pkts) != delivered || r.Responded != uint64(delivered) {
+		t.Fatalf("duplicate request re-answered: %d responses, Responded=%d, want %d",
+			len(resp.pkts), r.Responded, delivered)
+	}
+}
+
+// TestNewSourceErrors rejects invalid model/parameter combinations.
+func TestNewSourceErrors(t *testing.T) {
+	sched := sim.NewScheduler()
+	snd := &captureSender{}
+	rng := rand.New(rand.NewSource(1))
+	base := Params{Sched: sched, Sender: snd, FlowID: 1, Dst: 1, Bytes: 512, Interval: sim.Second, RNG: rng}
+	cases := []struct {
+		name  string
+		model Model
+		mut   func(p *Params)
+	}{
+		{"unknown model", Model("fractal"), func(p *Params) {}},
+		{"zero interval", PoissonModel, func(p *Params) { p.Interval = 0 }},
+		{"missing rng", PoissonModel, func(p *Params) { p.RNG = nil }},
+		{"burst factor <= 1", OnOffModel, func(p *Params) { p.BurstFactor = 1 }},
+		{"pareto shape <= 1", ParetoModel, func(p *Params) { p.ParetoShape = 1 }},
+		{"reqresp without responder", ReqRespModel, func(p *Params) { p.RespFlowID = 2 }},
+		{"reqresp flow collision", ReqRespModel, func(p *Params) { p.RespSender = snd; p.RespFlowID = p.FlowID }},
+		{"reqresp negative response", ReqRespModel, func(p *Params) { p.RespSender = snd; p.RespFlowID = 2; p.RespBytes = -1 }},
+	}
+	for _, tc := range cases {
+		p := base
+		tc.mut(&p)
+		if _, err := NewSource(tc.model, p); err == nil {
+			t.Errorf("%s: accepted", tc.name)
+		}
+	}
+	// The happy path still works for every registered model.
+	for _, m := range Models() {
+		p := base
+		p.RespSender = snd
+		p.RespFlowID = 2
+		if _, err := NewSource(m, p); err != nil {
+			t.Errorf("%s: %v", m, err)
+		}
+	}
+}
+
+// TestParseModel resolves names, defaults the empty string to CBR, and
+// rejects unknowns.
+func TestParseModel(t *testing.T) {
+	if m, err := ParseModel(""); err != nil || m != CBRModel {
+		t.Errorf("ParseModel(\"\") = %v, %v", m, err)
+	}
+	for _, m := range Models() {
+		got, err := ParseModel(string(m))
+		if err != nil || got != m {
+			t.Errorf("ParseModel(%q) = %v, %v", m, got, err)
+		}
+	}
+	if _, err := ParseModel("fractal"); err == nil {
+		t.Error("unknown model accepted")
+	}
+}

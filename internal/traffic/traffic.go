@@ -1,6 +1,10 @@
-// Package traffic implements the paper's workload: constant bit rate
-// (CBR) sources over UDP with fixed 512-byte packets, plus the sink-side
-// bookkeeping hooks.
+// Package traffic implements the simulator's workload models. The
+// paper evaluates constant bit rate (CBR) sources over UDP with fixed
+// 512-byte packets; this package keeps that model as the default and
+// adds a pluggable registry of alternatives — Poisson arrivals,
+// exponential on-off bursts, Pareto heavy-tailed bursts and
+// request-response exchanges — all parameterized by the same mean rate
+// so results stay comparable across models.
 package traffic
 
 import (
@@ -16,30 +20,143 @@ type Sender interface {
 	Send(np *packet.NetPacket)
 }
 
-// CBR generates fixed-size packets at a constant rate from Src to Dst.
-type CBR struct {
+// Source is a pluggable traffic generator. All implementations are
+// deterministic given their RNG seed: the same seed yields the same
+// packet schedule, byte for byte, which the campaign runner's
+// reproducibility contract depends on.
+type Source interface {
+	// Start begins generation at time start and stops it at until.
+	Start(start, until sim.Time)
+	// Stop halts generation early.
+	Stop()
+	// Endpoints returns the flow's (src, dst) addresses.
+	Endpoints() (src, dst packet.NodeID)
+	// RateBps returns the flow's mean offered bit rate (the
+	// request-direction rate for request-response sources).
+	RateBps() float64
+	// GeneratedCount returns how many packets the source has injected.
+	GeneratedCount() uint64
+}
+
+// Model names a traffic source implementation in configs and campaign
+// axes.
+type Model string
+
+// The built-in workload models.
+const (
+	// CBRModel is the paper's workload: fixed-size packets at a
+	// constant rate.
+	CBRModel Model = "cbr"
+	// PoissonModel draws exponential inter-packet gaps (memoryless
+	// arrivals at the same mean rate).
+	PoissonModel Model = "poisson"
+	// OnOffModel alternates exponential ON bursts (packets at a peak
+	// rate) with exponential OFF silences.
+	OnOffModel Model = "onoff"
+	// ParetoModel alternates Pareto-distributed ON/OFF periods — the
+	// heavy-tailed bursts of self-similar traffic.
+	ParetoModel Model = "pareto"
+	// ReqRespModel sends Poisson requests and, on each end-to-end
+	// delivery, a response packet back from the destination.
+	ReqRespModel Model = "reqresp"
+)
+
+// Models lists the built-in workload models in a stable order.
+func Models() []Model {
+	return []Model{CBRModel, PoissonModel, OnOffModel, ParetoModel, ReqRespModel}
+}
+
+// ParseModel resolves a model name from config. The empty string is the
+// CBR default, so untouched configs keep the paper's workload.
+func ParseModel(name string) (Model, error) {
+	switch Model(name) {
+	case "", CBRModel:
+		return CBRModel, nil
+	case PoissonModel:
+		return PoissonModel, nil
+	case OnOffModel:
+		return OnOffModel, nil
+	case ParetoModel:
+		return ParetoModel, nil
+	case ReqRespModel:
+		return ReqRespModel, nil
+	}
+	return "", fmt.Errorf("traffic: unknown model %q (have %v)", name, Models())
+}
+
+// Flow carries the bookkeeping every source model shares: addressing,
+// payload size, packet minting and the generation hook.
+type Flow struct {
 	// FlowID tags the flow (used as the PCMAC session ID).
 	FlowID uint32
 	// Src and Dst are the end-to-end addresses.
 	Src, Dst packet.NodeID
 	// Bytes is the payload size (512 in the paper).
 	Bytes int
-	// Interval is the packet spacing.
-	Interval sim.Duration
 	// NextUID mints packet IDs.
 	NextUID func() uint64
 	// OnGenerate, if set, observes every generated packet (the stats
 	// collector hooks in here).
 	OnGenerate func(np *packet.NetPacket)
+	// Generated counts packets injected.
+	Generated uint64
 
 	sched  *sim.Scheduler
 	sender Sender
 	seq    uint32
-	timer  *sim.Timer
 	until  sim.Time
+}
 
-	// Generated counts packets injected.
-	Generated uint64
+// Endpoints implements Source.
+func (f *Flow) Endpoints() (src, dst packet.NodeID) { return f.Src, f.Dst }
+
+// GeneratedCount implements Source.
+func (f *Flow) GeneratedCount() uint64 { return f.Generated }
+
+// emit injects one packet stamped with the current time.
+func (f *Flow) emit(now sim.Time) {
+	f.seq++
+	np := &packet.NetPacket{
+		UID:       f.NextUID(),
+		Proto:     packet.ProtoUDP,
+		Src:       f.Src,
+		Dst:       f.Dst,
+		TTL:       32,
+		Bytes:     f.Bytes,
+		FlowID:    f.FlowID,
+		Seq:       f.seq,
+		CreatedAt: now,
+	}
+	f.Generated++
+	if f.OnGenerate != nil {
+		f.OnGenerate(np)
+	}
+	f.sender.Send(np)
+}
+
+// newFlow validates and fills the shared core.
+func newFlow(sched *sim.Scheduler, sender Sender, flowID uint32, src, dst packet.NodeID, bytes int) Flow {
+	if bytes <= 0 {
+		panic(fmt.Sprintf("traffic: non-positive payload %d", bytes))
+	}
+	return Flow{
+		FlowID:  flowID,
+		Src:     src,
+		Dst:     dst,
+		Bytes:   bytes,
+		NextUID: func() uint64 { return 0 },
+		sched:   sched,
+		sender:  sender,
+	}
+}
+
+// CBR generates fixed-size packets at a constant rate from Src to Dst.
+type CBR struct {
+	Flow
+	// Interval is the packet spacing.
+	Interval sim.Duration
+
+	timer *sim.Timer
 }
 
 // NewCBR creates a CBR source delivering packets into sender.
@@ -47,18 +164,9 @@ func NewCBR(sched *sim.Scheduler, sender Sender, flowID uint32, src, dst packet.
 	if interval <= 0 {
 		panic(fmt.Sprintf("traffic: non-positive CBR interval %d", interval))
 	}
-	if bytes <= 0 {
-		panic(fmt.Sprintf("traffic: non-positive CBR payload %d", bytes))
-	}
 	c := &CBR{
-		FlowID:   flowID,
-		Src:      src,
-		Dst:      dst,
-		Bytes:    bytes,
+		Flow:     newFlow(sched, sender, flowID, src, dst, bytes),
 		Interval: interval,
-		NextUID:  func() uint64 { return 0 },
-		sched:    sched,
-		sender:   sender,
 	}
 	c.timer = sim.NewTimer(sched, c.tick)
 	return c
@@ -71,7 +179,7 @@ func (c *CBR) RateBps() float64 {
 
 // Start begins generation at time start and stops it at until. A small
 // start jitter (supplied by the caller via start) decorrelates flows.
-func (c *CBR) Start(start sim.Time, until sim.Time) {
+func (c *CBR) Start(start, until sim.Time) {
 	c.until = until
 	c.timer.StartAt(start)
 }
@@ -84,23 +192,7 @@ func (c *CBR) tick() {
 	if now >= c.until {
 		return
 	}
-	c.seq++
-	np := &packet.NetPacket{
-		UID:       c.NextUID(),
-		Proto:     packet.ProtoUDP,
-		Src:       c.Src,
-		Dst:       c.Dst,
-		TTL:       32,
-		Bytes:     c.Bytes,
-		FlowID:    c.FlowID,
-		Seq:       c.seq,
-		CreatedAt: now,
-	}
-	c.Generated++
-	if c.OnGenerate != nil {
-		c.OnGenerate(np)
-	}
-	c.sender.Send(np)
+	c.emit(now)
 	c.timer.Start(c.Interval)
 }
 
@@ -115,10 +207,29 @@ func IntervalFor(bytes int, rateBps float64) sim.Duration {
 
 // PickPairs chooses n distinct (src, dst) pairs among nodes [0, count),
 // with src != dst and no duplicate pairs, mirroring the paper's "10
-// source and destination pairs".
+// source and destination pairs". Asking for more pairs than the
+// count*(count-1) ordered pairs that exist panics; a dense request (more
+// than half the possible pairs) switches from rejection sampling to an
+// exhaustive shuffle so small networks terminate instead of spinning.
 func PickPairs(count, n int, rng *rand.Rand) [][2]packet.NodeID {
 	if count < 2 {
 		panic("traffic: need at least two nodes for a flow")
+	}
+	maxPairs := count * (count - 1)
+	if n > maxPairs {
+		panic(fmt.Sprintf("traffic: %d flows exceed the %d ordered pairs of %d nodes", n, maxPairs, count))
+	}
+	if 2*n > maxPairs {
+		all := make([][2]packet.NodeID, 0, maxPairs)
+		for a := 0; a < count; a++ {
+			for b := 0; b < count; b++ {
+				if a != b {
+					all = append(all, [2]packet.NodeID{packet.NodeID(a), packet.NodeID(b)})
+				}
+			}
+		}
+		rng.Shuffle(len(all), func(i, j int) { all[i], all[j] = all[j], all[i] })
+		return all[:n]
 	}
 	seen := make(map[[2]packet.NodeID]bool, n)
 	out := make([][2]packet.NodeID, 0, n)

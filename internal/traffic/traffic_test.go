@@ -143,3 +143,59 @@ func TestPickPairsPanicsTinyNetwork(t *testing.T) {
 	}()
 	PickPairs(1, 1, rand.New(rand.NewSource(1)))
 }
+
+// TestPickPairsSmallNetworks is the regression test for the dense
+// case: asking for most (or all) of a small network's ordered pairs
+// must terminate promptly and still guarantee src != dst and no
+// duplicates. Before the exhaustive-shuffle path, any n above
+// count*(count-1) made the rejection loop spin forever, and n close to
+// it degraded coupon-collector style; now impossible requests panic
+// up front and dense ones shuffle the full pair set.
+func TestPickPairsSmallNetworks(t *testing.T) {
+	for _, tc := range []struct{ count, n int }{
+		{2, 1}, {2, 2}, {3, 4}, {3, 6}, {4, 12}, {5, 11},
+	} {
+		for seed := int64(1); seed <= 20; seed++ {
+			pairs := PickPairs(tc.count, tc.n, rand.New(rand.NewSource(seed)))
+			if len(pairs) != tc.n {
+				t.Fatalf("PickPairs(%d, %d): %d pairs", tc.count, tc.n, len(pairs))
+			}
+			seen := map[[2]packet.NodeID]bool{}
+			for _, p := range pairs {
+				if p[0] == p[1] {
+					t.Fatalf("PickPairs(%d, %d): self-flow %v", tc.count, tc.n, p)
+				}
+				if int(p[0]) >= tc.count || int(p[1]) >= tc.count {
+					t.Fatalf("PickPairs(%d, %d): node out of range %v", tc.count, tc.n, p)
+				}
+				if seen[p] {
+					t.Fatalf("PickPairs(%d, %d): duplicate pair %v", tc.count, tc.n, p)
+				}
+				seen[p] = true
+			}
+		}
+	}
+}
+
+// TestPickPairsDeterministic pins the draw to the seed on both the
+// rejection and exhaustive paths.
+func TestPickPairsDeterministic(t *testing.T) {
+	for _, tc := range []struct{ count, n int }{{50, 10}, {3, 6}} {
+		a := PickPairs(tc.count, tc.n, rand.New(rand.NewSource(5)))
+		b := PickPairs(tc.count, tc.n, rand.New(rand.NewSource(5)))
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("PickPairs(%d, %d): pair %d differs: %v vs %v", tc.count, tc.n, i, a[i], b[i])
+			}
+		}
+	}
+}
+
+func TestPickPairsPanicsImpossible(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("PickPairs(2, 3) did not panic")
+		}
+	}()
+	PickPairs(2, 3, rand.New(rand.NewSource(1)))
+}
