@@ -5,7 +5,7 @@ GO ?= go
 # Hot-path microbenchmarks tracked by the perf trajectory (bench-json)
 # and the CI benchstat delta; ci.yml consumes them via the bench-micro
 # and bench-json targets, so this regex is the single source of truth.
-MICRO_BENCH = BenchmarkSchedulerChurn|BenchmarkTimerChurn|BenchmarkSchedulerFanOut|BenchmarkChannelTransmit|BenchmarkRadioArrivals
+MICRO_BENCH = BenchmarkSchedulerChurn|BenchmarkTimerChurn|BenchmarkSchedulerFanOut|BenchmarkChannelTransmit|BenchmarkRadioArrivals|BenchmarkEnergyAccounting
 BENCH_DATE ?= $(shell date +%Y-%m-%d)
 
 .PHONY: all build test bench bench-micro bench-json lint lint-golangci campaign-smoke fmt
@@ -24,7 +24,7 @@ bench:
 # bench-micro runs the inner-loop benchmarks with allocation tracking at
 # a statistically useful iteration count (unlike the 1x smoke pass).
 bench-micro:
-	$(GO) test -run='^$$' -bench='$(MICRO_BENCH)' -benchmem ./internal/sim/ ./internal/phys/
+	$(GO) test -run='^$$' -bench='$(MICRO_BENCH)' -benchmem ./internal/sim/ ./internal/phys/ ./internal/energy/
 
 # bench-json snapshots the perf trajectory: micro benchmarks (real
 # iteration counts, -benchmem) plus the figure benchmarks (one full
@@ -33,7 +33,7 @@ bench-micro:
 # files across commits is the regression record.
 bench-json:
 	@tmp=$$(mktemp); \
-	{ $(GO) test -run='^$$' -bench='$(MICRO_BENCH)' -benchmem ./internal/sim/ ./internal/phys/ && \
+	{ $(GO) test -run='^$$' -bench='$(MICRO_BENCH)' -benchmem ./internal/sim/ ./internal/phys/ ./internal/energy/ && \
 	  $(GO) test -run='^$$' -bench=. -benchtime=1x -timeout 30m . ; } > $$tmp || \
 	  { cat $$tmp; rm -f $$tmp; echo "bench-json: benchmark run failed" >&2; exit 1; }; \
 	$(GO) run ./cmd/benchjson -date $(BENCH_DATE) -out BENCH_$(BENCH_DATE).json < $$tmp; \
@@ -57,8 +57,9 @@ campaign-smoke:
 	$(GO) run ./cmd/campaign -preset bursty -duration 4 -seeds 1 -loads 250 -out $$tmp -q && \
 	test -s $$tmp && \
 	$(GO) run ./cmd/campaign -preset bursty -duration 4 -seeds 1 -loads 250 -out $$tmp -resume -q > /dev/null && \
-	echo "campaign-smoke: ok ($$(wc -l < $$tmp) records)"; \
-	rc=$$?; rm -f $$tmp; exit $$rc
+	$(GO) run ./cmd/campaign -preset lifetime -duration 4 -seeds 1 -loads 250 -out $$tmp.life -q > /dev/null && \
+	echo "campaign-smoke: ok ($$(wc -l < $$tmp) records, $$(wc -l < $$tmp.life) lifetime)"; \
+	rc=$$?; rm -f $$tmp $$tmp.life; exit $$rc
 
 fmt:
 	gofmt -w .

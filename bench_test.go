@@ -39,7 +39,7 @@ func runPoint(b *testing.B, opts scenario.Options, metric string) {
 		tput += res.ThroughputKbps
 		delay += res.AvgDelayMs
 		pdr += res.PDR
-		energy += res.EnergyJ + res.CtrlEnergyJ
+		energy += res.RadiatedEnergyJ + res.CtrlRadiatedEnergyJ
 	}
 	n := float64(b.N)
 	switch metric {

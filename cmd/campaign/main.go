@@ -37,6 +37,8 @@ func main() {
 		loadsCSV = flag.String("loads", "", "preset: offered-load axis in kbps (default 200..550)")
 		traffic  = flag.String("traffic", "", "override the workload-model axis (csv of cbr|poisson|onoff|pareto|reqresp)")
 		topology = flag.String("topology", "", "override the placement axis (csv of uniform|grid|clusters|corridor)")
+		battery  = flag.String("battery", "", "override the battery-capacity axis (csv of joules per node)")
+		eprofile = flag.String("energy-profile", "", "override the radio draw-profile axis (csv of wavelan|sensor)")
 		out      = flag.String("out", "results.jsonl", "JSONL results/checkpoint file (empty: none)")
 		resume   = flag.Bool("resume", false, "skip runs already present in -out, append the rest")
 		workers  = flag.Int("workers", 0, "worker pool size (0 = GOMAXPROCS)")
@@ -57,6 +59,17 @@ func main() {
 	}
 	if vals := splitCSV(*topology); len(vals) > 0 {
 		camp.Topologies = vals
+	}
+	if vals := splitCSV(*eprofile); len(vals) > 0 {
+		camp.EnergyProfiles = vals
+	}
+	if *battery != "" {
+		vals, err := parseLoads(*battery)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "campaign: bad -battery %q\n", *battery)
+			os.Exit(2)
+		}
+		camp.BatteriesJ = vals
 	}
 
 	if *emitSpec {

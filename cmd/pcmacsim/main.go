@@ -11,6 +11,7 @@ import (
 	"fmt"
 	"os"
 
+	"repro/internal/energy"
 	"repro/internal/mac"
 	"repro/internal/runner"
 	"repro/internal/scenario"
@@ -37,6 +38,8 @@ func main() {
 		no3way     = flag.Bool("no-three-way", false, "PCMAC ablation: keep the four-way handshake")
 		safety     = flag.Float64("safety", 0.7, "PCMAC tolerance safety factor")
 		shadowing  = flag.Float64("shadowing", 0, "log-normal shadowing sigma in dB (0 = two-ray ground)")
+		battery    = flag.Float64("battery", 0, "per-node battery capacity in joules (0 = mains-powered, no deaths)")
+		eprofile   = flag.String("energy-profile", "", "radio draw profile: wavelan|sensor (default wavelan)")
 		configPath = flag.String("config", "", "load the scenario from a JSON file (other flags ignored)")
 		tracePath  = flag.String("trace", "", "write an ns-2-style MAC event trace to this file")
 		jsonlPath  = flag.String("jsonl", "", "append the run's result record (campaign JSONL schema) to this file, - for stdout")
@@ -79,6 +82,8 @@ func main() {
 			DisableCtrlChannel: *noCtrl,
 			DisableThreeWay:    *no3way,
 			ShadowingSigmaDB:   *shadowing,
+			EnergyProfile:      *eprofile,
+			BatteryJ:           *battery,
 		}
 	}
 	if *timeline > 0 {
@@ -129,8 +134,24 @@ func main() {
 	fmt.Printf("jitter                    %.1f ms\n", res.JitterMs)
 	fmt.Printf("packet delivery ratio     %.3f\n", res.PDR)
 	fmt.Printf("Jain fairness             %.3f\n", res.JainFairness)
-	fmt.Printf("radiated energy           %.2f J data + %.2f J control\n", res.EnergyJ, res.CtrlEnergyJ)
-	fmt.Printf("energy per delivered KB   %.3f mJ\n", res.EnergyPerDeliveredKB()*1e3)
+	fmt.Printf("radiated energy           %.2f J data + %.2f J control\n", res.RadiatedEnergyJ, res.CtrlRadiatedEnergyJ)
+	fmt.Printf("radiated per delivered KB %.3f mJ\n", res.RadiatedPerDeliveredKB()*1e3)
+	b := res.EnergyByState
+	sleep := ""
+	if b[energy.Sleep] > 0 {
+		sleep = fmt.Sprintf(" + sleep %.1f", b[energy.Sleep])
+	}
+	fmt.Printf("consumed energy           %.1f J (tx %.1f + rx %.1f + idle %.1f + overhear %.1f%s)\n",
+		res.ConsumedEnergyJ, b[energy.Tx], b[energy.Rx], b[energy.Idle], b[energy.Overhear], sleep)
+	fmt.Printf("consumed per delivered KB %.3f mJ\n", res.ConsumedPerDeliveredKB()*1e3)
+	fmt.Printf("energy fairness           %.3f\n", res.EnergyFairness)
+	if res.Opts.BatteryJ > 0 {
+		if res.DeadNodes > 0 {
+			fmt.Printf("node deaths               %d of %d (first at %.1f s)\n", res.DeadNodes, res.Opts.Nodes, res.TimeToFirstDeathS)
+		} else {
+			fmt.Printf("node deaths               0 of %d\n", res.Opts.Nodes)
+		}
+	}
 	fmt.Printf("simulator events          %d\n", res.Events)
 
 	if res.Timeline != nil {

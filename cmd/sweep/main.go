@@ -93,6 +93,7 @@ func main() {
 		emit(experiment.MetricDelay, "Figure 9: average end-to-end delay vs offered load")
 		emit(experiment.MetricPDR, "Supplementary: packet delivery ratio")
 		emit(experiment.MetricEnergy, "Supplementary: radiated energy")
+		emit(experiment.MetricConsumedEnergy, "Supplementary: consumed (full-radio) energy")
 		emit(experiment.MetricFairness, "Supplementary: Jain fairness across flows")
 	default:
 		fmt.Fprintf(os.Stderr, "unknown -fig %q\n", *fig)

@@ -36,7 +36,7 @@ func main() {
 		}
 		fmt.Printf("%-12s %12.1f %12.1f %8.3f %10.2f %10.3f\n",
 			s, res.ThroughputKbps, res.AvgDelayMs, res.PDR,
-			res.EnergyJ+res.CtrlEnergyJ, res.JainFairness)
+			res.RadiatedEnergyJ+res.CtrlRadiatedEnergyJ, res.JainFairness)
 	}
 	fmt.Println("\nFor the full Figure 8/9 sweeps run: go run ./cmd/sweep -fig all")
 }

@@ -40,7 +40,7 @@ func main() {
 	fmt.Printf("  throughput           %.1f kbps\n", res.ThroughputKbps)
 	fmt.Printf("  end-to-end delay     %.1f ms\n", res.AvgDelayMs)
 	fmt.Printf("  delivery ratio       %.3f\n", res.PDR)
-	fmt.Printf("  radiated energy      %.2f J\n", res.EnergyJ)
+	fmt.Printf("  radiated energy      %.2f J\n", res.RadiatedEnergyJ)
 	fmt.Printf("  AODV forwards        %d\n", res.Routing.Forwarded)
 	fmt.Printf("  tolerance announcements sent on the control channel: %d\n", res.Ctrl.Sent)
 
@@ -53,5 +53,5 @@ func main() {
 		log.Fatal(err)
 	}
 	fmt.Printf("\nbasic 802.11 on the same scenario: %.1f kbps at %.2f J (%.1fx the energy)\n",
-		base.ThroughputKbps, base.EnergyJ, base.EnergyJ/res.EnergyJ)
+		base.ThroughputKbps, base.RadiatedEnergyJ, base.RadiatedEnergyJ/res.RadiatedEnergyJ)
 }

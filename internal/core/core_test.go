@@ -49,8 +49,8 @@ func TestCompareRunsAllSchemes(t *testing.T) {
 		}
 	}
 	// Power control spends less energy than basic on this short link.
-	if results[PCMAC].EnergyJ >= results[Basic].EnergyJ {
-		t.Fatalf("pcmac energy %.2f J >= basic %.2f J", results[PCMAC].EnergyJ, results[Basic].EnergyJ)
+	if results[PCMAC].RadiatedEnergyJ >= results[Basic].RadiatedEnergyJ {
+		t.Fatalf("pcmac energy %.2f J >= basic %.2f J", results[PCMAC].RadiatedEnergyJ, results[Basic].RadiatedEnergyJ)
 	}
 }
 

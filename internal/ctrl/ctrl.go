@@ -100,6 +100,10 @@ func (a *Agent) BindRadio(r *phys.Radio) {
 	a.radio = r
 }
 
+// Radio returns the bound control-channel radio (nil before BindRadio).
+// The scenario layer powers it off when the node's battery dies.
+func (a *Agent) Radio() *phys.Radio { return a.radio }
+
 // airTime returns a control frame's airtime: its 48 bits at the channel
 // rate (the 16-bit preamble is part of the Figure 7 frame itself).
 func (a *Agent) airTime() sim.Duration {
@@ -116,6 +120,12 @@ func (a *Agent) Announce(tolW float64, until sim.Time) {
 }
 
 func (a *Agent) try(tolW float64, until sim.Time, retries int) {
+	if a.radio.Off() {
+		// Battery death between the announce decision and a deferred
+		// retry: the radio is gone, the announcement with it.
+		a.Stats.Skipped++
+		return
+	}
 	now := a.sched.Now()
 	if now.Add(a.airTime()) >= until {
 		// The reception would end before the announcement lands.

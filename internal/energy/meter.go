@@ -1,0 +1,82 @@
+package energy
+
+import (
+	"repro/internal/phys"
+)
+
+// Meter interposes on a radio's handler chain, translating the existing
+// phys.Radio callbacks (receive lock begin/end, carrier-sense edges,
+// own-transmission boundaries) into accountant state transitions before
+// forwarding each event to the real handler (the MAC, or the control
+// agent). It adds no events and no randomness — pure observation.
+type Meter struct {
+	acct  *Accountant
+	inner phys.Handler
+	// forUs classifies a cleanly decoded frame payload as addressed to
+	// this node (or broadcast); everything else was overhearing.
+	forUs func(payload any) bool
+
+	// lockedTx identifies the arrival the radio is decoding, so the
+	// lock-end transition is distinguished from the end of an arrival
+	// that was only sensed.
+	lockedTx *phys.Transmission
+}
+
+// NewMeter wires an accountant in front of inner. forUs must be
+// non-nil; it sees the raw transmission payload (a *packet.Frame for
+// MAC radios).
+func NewMeter(acct *Accountant, inner phys.Handler, forUs func(payload any) bool) *Meter {
+	if acct == nil || inner == nil || forUs == nil {
+		panic("energy: NewMeter requires accountant, inner handler and classifier")
+	}
+	return &Meter{acct: acct, inner: inner, forUs: forUs}
+}
+
+// Accountant returns the wrapped accountant.
+func (m *Meter) Accountant() *Accountant { return m.acct }
+
+// RadioTxStart implements phys.TxObserver: meter TX at the actual
+// selected power level. A half-duplex radio kills any in-progress lock
+// when it transmits, so the pending lock (if any) ends here too.
+func (m *Meter) RadioTxStart(tx *phys.Transmission) {
+	m.lockedTx = nil
+	m.acct.TxStart(tx.PowerW)
+}
+
+// RadioRxBegin implements phys.Handler.
+func (m *Meter) RadioRxBegin(tx *phys.Transmission, rxPowerW float64) {
+	m.lockedTx = tx
+	m.acct.LockStart()
+	m.inner.RadioRxBegin(tx, rxPowerW)
+}
+
+// RadioRx implements phys.Handler. Only the locked arrival's end is a
+// lock transition; sensed-but-never-locked arrivals are covered by the
+// carrier-sense edges.
+func (m *Meter) RadioRx(tx *phys.Transmission, rxPowerW float64, rxErr bool) {
+	if tx == m.lockedTx {
+		m.lockedTx = nil
+		m.acct.LockEnd(!rxErr && m.forUs(tx.Payload))
+	}
+	m.inner.RadioRx(tx, rxPowerW, rxErr)
+}
+
+// RadioCarrierBusy implements phys.Handler.
+func (m *Meter) RadioCarrierBusy() {
+	m.acct.CarrierBusy()
+	m.inner.RadioCarrierBusy()
+}
+
+// RadioCarrierIdle implements phys.Handler.
+func (m *Meter) RadioCarrierIdle() {
+	m.acct.CarrierIdle()
+	m.inner.RadioCarrierIdle()
+}
+
+// RadioTxDone implements phys.Handler.
+func (m *Meter) RadioTxDone(tx *phys.Transmission) {
+	m.acct.TxEnd()
+	m.inner.RadioTxDone(tx)
+}
+
+var _ phys.Handler = (*Meter)(nil)

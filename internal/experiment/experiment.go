@@ -25,8 +25,11 @@ type Cell struct {
 	Throughput stats.Series
 	DelayMs    stats.Series
 	PDR        stats.Series
-	EnergyJ    stats.Series
-	Fairness   stats.Series
+	// RadiatedJ is radiated-only TX energy (the paper's view);
+	// ConsumedJ the full-radio electrical budget.
+	RadiatedJ stats.Series
+	ConsumedJ stats.Series
+	Fairness  stats.Series
 }
 
 // Sweep is a complete load × scheme grid.
@@ -93,7 +96,8 @@ func Run(cfg Config) (*Sweep, error) {
 			c.Throughput.Append(r.ThroughputKbps)
 			c.DelayMs.Append(r.AvgDelayMs)
 			c.PDR.Append(r.PDR)
-			c.EnergyJ.Append(r.EnergyJ + r.CtrlEnergyJ)
+			c.RadiatedJ.Append(r.RadiatedEnergyJ + r.CtrlRadiatedEnergyJ)
+			c.ConsumedJ.Append(r.ConsumedEnergyJ)
 			c.Fairness.Append(r.JainFairness)
 		},
 	})
@@ -111,7 +115,11 @@ const (
 	MetricThroughput Metric = iota
 	MetricDelay
 	MetricPDR
+	// MetricEnergy is radiated-only TX energy — the paper's metric;
+	// MetricConsumedEnergy is the full-radio electrical budget
+	// (circuit + RX + idle + overhearing) from internal/energy.
 	MetricEnergy
+	MetricConsumedEnergy
 	MetricFairness
 )
 
@@ -125,6 +133,8 @@ func (m Metric) String() string {
 		return "Packet Delivery Ratio"
 	case MetricEnergy:
 		return "Radiated Energy (J)"
+	case MetricConsumedEnergy:
+		return "Consumed Energy (J)"
 	case MetricFairness:
 		return "Jain Fairness Index"
 	default:
@@ -141,7 +151,9 @@ func (c *Cell) series(m Metric) *stats.Series {
 	case MetricPDR:
 		return &c.PDR
 	case MetricEnergy:
-		return &c.EnergyJ
+		return &c.RadiatedJ
+	case MetricConsumedEnergy:
+		return &c.ConsumedJ
 	case MetricFairness:
 		return &c.Fairness
 	default:

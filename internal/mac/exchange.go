@@ -469,7 +469,7 @@ func (m *MAC) ResetPeerState(peer packet.NodeID) {
 // a DATA reception, measure signal and noise and broadcast the residual
 // tolerance on the power-control channel.
 func (m *MAC) RadioRxBegin(tx *phys.Transmission, rxPowerW float64) {
-	if m.scheme != PCMAC || m.ann == nil {
+	if m.halted || m.scheme != PCMAC || m.ann == nil {
 		return
 	}
 	f, ok := tx.Payload.(*packet.Frame)
@@ -495,6 +495,9 @@ func (m *MAC) RadioRxBegin(tx *phys.Transmission, rxPowerW float64) {
 
 // RadioRx implements phys.Handler: frame demultiplexing.
 func (m *MAC) RadioRx(tx *phys.Transmission, rxPowerW float64, rxErr bool) {
+	if m.halted {
+		return
+	}
 	if rxErr {
 		// Sensed but not decoded: defer EIFS (cancelled early if a
 		// clean frame arrives in the meantime).
@@ -559,6 +562,9 @@ func (m *MAC) RadioRx(tx *phys.Transmission, rxPowerW float64, rxErr bool) {
 // RadioTxDone implements phys.Handler: sequence the exchange after our
 // own frame leaves the air.
 func (m *MAC) RadioTxDone(tx *phys.Transmission) {
+	if m.halted {
+		return
+	}
 	f, ok := tx.Payload.(*packet.Frame)
 	if !ok {
 		return
@@ -600,9 +606,19 @@ func (m *MAC) RadioTxDone(tx *phys.Transmission) {
 }
 
 // RadioCarrierBusy implements phys.Handler.
-func (m *MAC) RadioCarrierBusy() { m.syncChannelState() }
+func (m *MAC) RadioCarrierBusy() {
+	if m.halted {
+		return
+	}
+	m.syncChannelState()
+}
 
 // RadioCarrierIdle implements phys.Handler.
-func (m *MAC) RadioCarrierIdle() { m.syncChannelState() }
+func (m *MAC) RadioCarrierIdle() {
+	if m.halted {
+		return
+	}
+	m.syncChannelState()
+}
 
 var _ phys.Handler = (*MAC)(nil)

@@ -139,6 +139,10 @@ type MAC struct {
 	// ablation knob).
 	disableThreeWay bool
 
+	// halted is set by Halt (battery death): the MAC drops its queue,
+	// refuses new packets, and ignores every radio callback.
+	halted bool
+
 	// Stats counts this terminal's MAC events.
 	Stats Stats
 }
@@ -245,6 +249,10 @@ func (m *MAC) QueueLen() int {
 func (m *MAC) Enqueue(np *packet.NetPacket, dst packet.NodeID) bool {
 	if dst == m.id {
 		panic(fmt.Sprintf("mac: node %v enqueued a packet to itself", m.id))
+	}
+	if m.halted {
+		m.Stats.DropQueue++
+		return false
 	}
 	if m.QueueLen() >= m.cfg.QueueCap {
 		m.Stats.DropQueue++
@@ -460,6 +468,36 @@ func (m *MAC) exitReceiverRole() {
 	m.st = stIdle
 	m.next()
 }
+
+// Halt permanently stops the MAC — the battery-death path. Every timer
+// is cancelled, the interface queue (including the job in service) is
+// dropped, and from here on Enqueue refuses packets and all radio
+// callbacks are ignored. Stats survive for end-of-run collection.
+func (m *MAC) Halt() {
+	if m.halted {
+		return
+	}
+	m.halted = true
+	m.xid++ // invalidate scheduled exchange continuations
+	m.deferTimer.Stop()
+	m.backoffTimer.Stop()
+	m.waitTimer.Stop()
+	m.rxTimer.Stop()
+	m.navTimer.Stop()
+	m.blockTimer.Stop()
+	drops := len(m.hiQueue) + len(m.queue)
+	if m.cur != nil {
+		drops++
+	}
+	m.Stats.DropQueue += uint64(drops)
+	m.cur = nil
+	m.hiQueue, m.queue = nil, nil
+	m.rxPeer = 0
+	m.st = stIdle
+}
+
+// Halted reports whether Halt was called.
+func (m *MAC) Halted() bool { return m.halted }
 
 // after schedules fn after d, guarded so it only runs if the exchange it
 // belongs to is still live.

@@ -9,6 +9,7 @@ import (
 
 	"repro/internal/aodv"
 	"repro/internal/ctrl"
+	"repro/internal/energy"
 	"repro/internal/geom"
 	"repro/internal/mac"
 	"repro/internal/mobility"
@@ -43,6 +44,17 @@ type Config struct {
 	DisableThreeWay bool
 	// Tracer receives MAC protocol events; nil disables tracing.
 	Tracer trace.Sink
+	// Energy, when non-nil, meters the data radio's full electrical
+	// draw (TX at the selected level + circuit overhead, RX, idle,
+	// overhearing) into this per-node accountant. The scenario layer
+	// creates one per node; nil disables metering entirely.
+	Energy *energy.Accountant
+	// CtrlEnergy, when non-nil, meters the PCMAC control-channel radio
+	// the same way — a second always-on receiver is real consumption,
+	// and it should drain the same battery (share it via
+	// energy.Config.Battery). Ignored when the node has no control
+	// agent.
+	CtrlEnergy *energy.Accountant
 }
 
 // DefaultConfig returns the paper's per-node parameters.
@@ -68,6 +80,25 @@ type Node struct {
 
 	History  *power.History
 	Registry *power.Registry
+
+	// Energy is the data radio's energy accountant and CtrlEnergy the
+	// control-channel radio's (nil when the terminal was built without
+	// metering, or has no control agent). Both drain Energy's battery
+	// when the scenario shares it.
+	Energy     *energy.Accountant
+	CtrlEnergy *energy.Accountant
+}
+
+// Die powers the terminal down — the battery-death feedback path. The
+// MAC halts (queue dropped, callbacks ignored), the data radio and any
+// control-channel radio stop transmitting, receiving and sensing, and
+// routes through this node break as neighbours' retries exhaust.
+func (n *Node) Die() {
+	n.MAC.Halt()
+	n.MAC.Radio().SetOff(true)
+	if n.Ctrl != nil && n.Ctrl.Radio() != nil {
+		n.Ctrl.Radio().SetOff(true)
+	}
 }
 
 // New assembles a terminal and attaches its radios to the given data
@@ -105,13 +136,41 @@ func New(id packet.NodeID, sched *sim.Scheduler, dataCh, ctrlCh *phys.Channel, m
 		if err != nil {
 			return nil, fmt.Errorf("node %v: %w", id, err)
 		}
-		agent.BindRadio(ctrlCh.AttachRadio(int(id), pos, agent))
+		var ch phys.Handler = agent
+		if cfg.CtrlEnergy != nil {
+			// Announcements are broadcast protocol traffic: every clean
+			// decode is a useful reception, so the classifier is
+			// constant-true and only corrupted frames land in Overhear.
+			ch = energy.NewMeter(cfg.CtrlEnergy, agent, func(any) bool { return true })
+			n.CtrlEnergy = cfg.CtrlEnergy
+		}
+		ctrlRadio := ctrlCh.AttachRadio(int(id), pos, ch)
+		if m, ok := ch.(*energy.Meter); ok {
+			ctrlRadio.SetTxObserver(m)
+		}
+		agent.BindRadio(ctrlRadio)
 		n.Ctrl = agent
 		opts.Announcer = agent
 	}
 
 	n.MAC = mac.New(cfg.MAC, cfg.Scheme, id, sched, n.Router, opts)
-	n.MAC.BindRadio(dataCh.AttachRadio(int(id), pos, n.MAC))
+	var h phys.Handler = n.MAC
+	if cfg.Energy != nil {
+		// Interpose the energy meter between the radio and the MAC: it
+		// observes the existing handler callbacks (and transmit starts)
+		// and forwards them untouched.
+		meter := energy.NewMeter(cfg.Energy, n.MAC, func(payload any) bool {
+			f, ok := payload.(*packet.Frame)
+			return ok && (f.Dst == id || f.Dst == packet.Broadcast)
+		})
+		h = meter
+		n.Energy = cfg.Energy
+	}
+	radio := dataCh.AttachRadio(int(id), pos, h)
+	if m, ok := h.(*energy.Meter); ok {
+		radio.SetTxObserver(m)
+	}
+	n.MAC.BindRadio(radio)
 	n.Router.BindLink(n.MAC)
 	return n, nil
 }

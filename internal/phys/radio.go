@@ -29,6 +29,14 @@ type Handler interface {
 	RadioTxDone(tx *Transmission)
 }
 
+// TxObserver is notified the instant the radio begins emitting a frame.
+// The energy accountant uses it to meter transmit draw at the actually
+// selected power level; the Handler callbacks cover every other radio
+// state transition, so no further hooks are needed.
+type TxObserver interface {
+	RadioTxStart(tx *Transmission)
+}
+
 // Typed event kinds dispatched to Radio.HandleEvent. Using typed events
 // instead of closures keeps the two-per-receiver-per-frame arrival
 // events allocation-free (they ride the scheduler's event pool).
@@ -82,6 +90,15 @@ type Radio struct {
 
 	busy bool // last carrier state reported to the handler
 
+	// off marks a powered-down radio (battery death): it neither
+	// transmits, receives, nor senses, and handler callbacks are
+	// suppressed. Arrival bookkeeping continues so the in-band power
+	// sums stay consistent if the radio is powered back up.
+	off bool
+
+	// txObs, when non-nil, observes own-transmission starts.
+	txObs TxObserver
+
 	// EnergyTxJ accumulates radiated energy, the quantity power control
 	// trades against capacity.
 	EnergyTxJ float64
@@ -125,9 +142,42 @@ func (r *Radio) Interference() float64 {
 func (r *Radio) TotalPower() float64 { return r.totalW }
 
 // CarrierBusy reports physical carrier sense: own transmission, or total
-// in-band power at or above the carrier-sense threshold.
+// in-band power at or above the carrier-sense threshold. A powered-down
+// radio senses nothing.
 func (r *Radio) CarrierBusy() bool {
-	return r.Transmitting() || r.TotalPower() >= r.ch.par.CsThreshW
+	return !r.off && (r.Transmitting() || r.TotalPower() >= r.ch.par.CsThreshW)
+}
+
+// SetTxObserver installs the transmit-start observer (nil disables).
+func (r *Radio) SetTxObserver(o TxObserver) { r.txObs = o }
+
+// Off reports whether the radio is powered down.
+func (r *Radio) Off() bool { return r.off }
+
+// SetOff powers the radio down or back up. While off the radio neither
+// transmits (Transmit is a silent no-op), receives, nor senses carrier,
+// and no handler callbacks fire — the physical feedback of a battery
+// death. Any in-progress reception is aborted without delivery; an
+// in-flight own transmission is unaffected (the accountant defers death
+// to the frame boundary, and the radiated energy has left the antenna
+// regardless).
+func (r *Radio) SetOff(off bool) {
+	if r.off == off {
+		return
+	}
+	r.off = off
+	if off {
+		if r.current >= 0 {
+			r.arrivals[r.current].killed = true
+			r.arrivals[r.current].locked = false
+			r.current = -1
+		}
+		// Drop the reported carrier silently: the handler is being
+		// halted by the same death that powers the radio off.
+		r.busy = false
+		return
+	}
+	r.updateCarrier()
 }
 
 // HandleEvent implements sim.EventHandler, dispatching the channel's
@@ -152,6 +202,13 @@ func (r *Radio) HandleEvent(kind int32, arg any, x float64) {
 // transmitting while receiving silently aborts the reception, as real
 // half-duplex hardware would.
 func (r *Radio) Transmit(powerW float64, bits int, dur sim.Duration, payload any) *Transmission {
+	if r.off {
+		// Powered down: the frame never reaches the air. Callers ignore
+		// the returned handle on this path (a dead node's MAC is halted;
+		// only stragglers like an in-flight control-channel retry land
+		// here).
+		return nil
+	}
 	if r.Transmitting() {
 		panic(fmt.Sprintf("phys: radio %d transmit while transmitting", r.id))
 	}
@@ -170,6 +227,9 @@ func (r *Radio) Transmit(powerW float64, bits int, dur sim.Duration, payload any
 	tx := r.ch.transmit(r, powerW, bits, dur, payload)
 	r.currentTx = tx
 	r.EnergyTxJ += powerW * dur.Seconds()
+	if r.txObs != nil {
+		r.txObs.RadioTxStart(tx)
+	}
 	r.ch.sched.ScheduleEvent(dur, r, evTxDone, tx, 0)
 	r.updateCarrier()
 	return tx
@@ -184,7 +244,7 @@ func (r *Radio) beginArrival(tx *Transmission, powerW float64) {
 	r.arrivals = append(r.arrivals, arrival{tx: tx, powerW: powerW})
 	r.totalW += powerW
 	par := r.ch.par
-	canLock := !r.Transmitting() && r.current < 0 &&
+	canLock := !r.off && !r.Transmitting() && r.current < 0 &&
 		powerW >= par.RxThreshW &&
 		powerW >= par.CaptureRatio*(par.NoiseFloorW+others)
 	if canLock {
@@ -246,7 +306,7 @@ func (r *Radio) endArrival(tx *Transmission) {
 		r.updateCarrier()
 		r.h.RadioRx(tx, a.powerW, !sinrOK)
 		return
-	case a.powerW >= par.CsThreshW && !r.Transmitting():
+	case a.powerW >= par.CsThreshW && !r.Transmitting() && !r.off:
 		// Sensed but never decoded: report as an errored reception so
 		// the MAC can apply its EIFS defer.
 		r.updateCarrier()

@@ -20,8 +20,17 @@ type Point struct {
 	DelayP99Ms stats.Series
 	JitterMs   stats.Series
 	PDR        stats.Series
-	EnergyJ    stats.Series
-	Fairness   stats.Series
+	// RadiatedJ aggregates radiated-only TX energy (data + control
+	// channel — the paper's energy view); ConsumedJ the full-radio
+	// electrical budget including circuit overhead, RX, idle listening
+	// and overhearing.
+	RadiatedJ stats.Series
+	ConsumedJ stats.Series
+	Fairness  stats.Series
+	// Lifetime series: time to first battery death (only runs where a
+	// node died contribute) and the dead-node count per run.
+	FirstDeathS stats.Series
+	DeadNodes   stats.Series
 }
 
 // Aggregate folds campaign results into per-grid-point series, in
@@ -52,8 +61,13 @@ func (a *Aggregate) Add(run Run, r Result) {
 	p.DelayP99Ms.Append(r.DelayP99Ms)
 	p.JitterMs.Append(r.JitterMs)
 	p.PDR.Append(r.PDR)
-	p.EnergyJ.Append(r.EnergyJ + r.CtrlEnergyJ)
+	p.RadiatedJ.Append(r.RadiatedEnergyJ + r.CtrlRadiatedEnergyJ)
+	p.ConsumedJ.Append(r.ConsumedEnergyJ)
 	p.Fairness.Append(r.JainFairness)
+	p.DeadNodes.Append(float64(r.DeadNodes))
+	if r.TimeToFirstDeathS > 0 {
+		p.FirstDeathS.Append(r.TimeToFirstDeathS)
+	}
 }
 
 // Points returns the grid points in first-seen (campaign) order.
@@ -69,14 +83,18 @@ func (a *Aggregate) Points() []*Point {
 // headline metrics over its replications.
 func (a *Aggregate) WriteTable(w io.Writer) error {
 	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
-	fmt.Fprintln(tw, "point\tn\tthroughput (kbps)\tdelay (ms)\tp95 (ms)\tjitter (ms)\tpdr\tenergy (J)\tfairness")
+	fmt.Fprintln(tw, "point\tn\tthroughput (kbps)\tdelay (ms)\tp95 (ms)\tjitter (ms)\tpdr\tradiated (J)\tconsumed (J)\tfairness\tttfd (s)")
 	for _, p := range a.Points() {
-		fmt.Fprintf(tw, "%s\t%d\t%.1f ±%.1f\t%.1f ±%.1f\t%.1f\t%.1f\t%.3f\t%.2f\t%.3f\n",
+		ttfd := "-"
+		if p.FirstDeathS.N() > 0 {
+			ttfd = fmt.Sprintf("%.1f", p.FirstDeathS.Mean())
+		}
+		fmt.Fprintf(tw, "%s\t%d\t%.1f ±%.1f\t%.1f ±%.1f\t%.1f\t%.1f\t%.3f\t%.2f\t%.1f\t%.3f\t%s\n",
 			p.Label, p.Throughput.N(),
 			p.Throughput.Mean(), p.Throughput.StdDev(),
 			p.DelayMs.Mean(), p.DelayMs.StdDev(),
 			p.DelayP95Ms.Mean(), p.JitterMs.Mean(),
-			p.PDR.Mean(), p.EnergyJ.Mean(), p.Fairness.Mean())
+			p.PDR.Mean(), p.RadiatedJ.Mean(), p.ConsumedJ.Mean(), p.Fairness.Mean(), ttfd)
 	}
 	return tw.Flush()
 }
@@ -85,16 +103,20 @@ func (a *Aggregate) WriteTable(w io.Writer) error {
 // throughput envelope (min/max over replications) and the latency-tail
 // means.
 func (a *Aggregate) WriteCSV(w io.Writer) error {
-	if _, err := fmt.Fprintln(w, "point,n,throughput_mean,throughput_sd,throughput_min,throughput_max,delay_mean,delay_sd,delay_p95_mean,delay_p99_mean,jitter_mean,pdr_mean,energy_mean,fairness_mean"); err != nil {
+	// ttfd_mean averages only the replications where a node actually
+	// died; ttfd_n says how many those were (0 means every node in
+	// every rep survived and ttfd_mean is vacuous, not "death at 0 s").
+	if _, err := fmt.Fprintln(w, "point,n,throughput_mean,throughput_sd,throughput_min,throughput_max,delay_mean,delay_sd,delay_p95_mean,delay_p99_mean,jitter_mean,pdr_mean,radiated_mean,consumed_mean,fairness_mean,ttfd_mean,ttfd_n,dead_mean"); err != nil {
 		return err
 	}
 	for _, p := range a.Points() {
-		if _, err := fmt.Fprintf(w, "%s,%d,%.3f,%.3f,%.3f,%.3f,%.3f,%.3f,%.3f,%.3f,%.3f,%.3f,%.3f,%.3f\n",
+		if _, err := fmt.Fprintf(w, "%s,%d,%.3f,%.3f,%.3f,%.3f,%.3f,%.3f,%.3f,%.3f,%.3f,%.3f,%.3f,%.3f,%.3f,%.3f,%d,%.3f\n",
 			p.Label, p.Throughput.N(),
 			p.Throughput.Mean(), p.Throughput.StdDev(), p.Throughput.Min(), p.Throughput.Max(),
 			p.DelayMs.Mean(), p.DelayMs.StdDev(),
 			p.DelayP95Ms.Mean(), p.DelayP99Ms.Mean(), p.JitterMs.Mean(),
-			p.PDR.Mean(), p.EnergyJ.Mean(), p.Fairness.Mean()); err != nil {
+			p.PDR.Mean(), p.RadiatedJ.Mean(), p.ConsumedJ.Mean(), p.Fairness.Mean(),
+			p.FirstDeathS.Mean(), p.FirstDeathS.N(), p.DeadNodes.Mean()); err != nil {
 			return err
 		}
 	}

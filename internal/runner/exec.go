@@ -16,6 +16,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/energy"
 	"repro/internal/scenario"
 )
 
@@ -33,9 +34,13 @@ type Result struct {
 	SpeedMps     float64 `json:"speed_mps"`
 	ShadowingDB  float64 `json:"shadowing_db,omitempty"`
 	SafetyFactor float64 `json:"safety_factor"`
-	Rep          int     `json:"rep"`
-	Seed         int64   `json:"seed"`
-	DurationS    float64 `json:"duration_s"`
+	// EnergyProfile/BatteryJ echo the energy axis (omitted on the
+	// defaults, so pre-energy JSONL and checkpoints stay byte-stable).
+	EnergyProfile string  `json:"energy_profile,omitempty"`
+	BatteryJ      float64 `json:"battery_j,omitempty"`
+	Rep           int     `json:"rep"`
+	Seed          int64   `json:"seed"`
+	DurationS     float64 `json:"duration_s"`
 
 	ThroughputKbps float64 `json:"throughput_kbps"`
 	AvgDelayMs     float64 `json:"avg_delay_ms"`
@@ -45,41 +50,80 @@ type Result struct {
 	JitterMs       float64 `json:"jitter_ms"`
 	PDR            float64 `json:"pdr"`
 	JainFairness   float64 `json:"jain_fairness"`
-	EnergyJ        float64 `json:"energy_j"`
-	CtrlEnergyJ    float64 `json:"ctrl_energy_j"`
-	Events         uint64  `json:"events"`
+	// RadiatedEnergyJ keeps the historical energy_j JSONL name; the
+	// value has always been radiated-only TX energy on the data channel
+	// (ctrl_energy_j likewise on the control channel). The full-radio
+	// electrical budget is ConsumedEnergyJ and its per-state split.
+	RadiatedEnergyJ     float64 `json:"energy_j"`
+	CtrlRadiatedEnergyJ float64 `json:"ctrl_energy_j"`
+
+	ConsumedEnergyJ float64 `json:"consumed_energy_j"`
+	EnergyTxJ       float64 `json:"energy_tx_j"`
+	EnergyRxJ       float64 `json:"energy_rx_j"`
+	EnergyIdleJ     float64 `json:"energy_idle_j"`
+	EnergyOverhearJ float64 `json:"energy_overhear_j"`
+	EnergySleepJ    float64 `json:"energy_sleep_j,omitempty"`
+	// ConsumedPerKBJ is full-radio joules per delivered kilobyte;
+	// EnergyFairness is Jain's index over residual (battery) or
+	// consumed (mains) per-node energy.
+	ConsumedPerKBJ float64 `json:"consumed_per_kb_j"`
+	EnergyFairness float64 `json:"energy_fairness"`
+	// Lifetime metrics: battery deaths, the first-death instant (0 =
+	// everyone survived) and the alive-node step curve as [t_s, alive]
+	// pairs (never empty — it starts with the population at t=0).
+	DeadNodes         int          `json:"dead_nodes,omitempty"`
+	TimeToFirstDeathS float64      `json:"time_to_first_death_s,omitempty"`
+	AliveTimeline     [][2]float64 `json:"alive_timeline"`
+
+	Events uint64 `json:"events"`
 }
 
 // ResultOf builds the record for one completed run. Coordinates come
 // from the defaulted options the scenario actually ran with.
 func ResultOf(r Run, res scenario.Result) Result {
 	o := res.Opts
-	return Result{
-		Key:            r.Key,
-		Variant:        r.Variant,
-		Scheme:         o.Scheme.String(),
-		Traffic:        o.Traffic,
-		Topology:       o.Topology,
-		LoadKbps:       o.OfferedLoadKbps,
-		Nodes:          o.Nodes,
-		SpeedMps:       o.SpeedMax,
-		ShadowingDB:    o.ShadowingSigmaDB,
-		SafetyFactor:   o.SafetyFactor,
-		Rep:            r.Rep,
-		Seed:           r.Seed,
-		DurationS:      o.Duration.Seconds(),
-		ThroughputKbps: res.ThroughputKbps,
-		AvgDelayMs:     res.AvgDelayMs,
-		DelayP50Ms:     res.DelayP50Ms,
-		DelayP95Ms:     res.DelayP95Ms,
-		DelayP99Ms:     res.DelayP99Ms,
-		JitterMs:       res.JitterMs,
-		PDR:            res.PDR,
-		JainFairness:   res.JainFairness,
-		EnergyJ:        res.EnergyJ,
-		CtrlEnergyJ:    res.CtrlEnergyJ,
-		Events:         res.Events,
+	out := Result{
+		Key:                 r.Key,
+		Variant:             r.Variant,
+		Scheme:              o.Scheme.String(),
+		Traffic:             o.Traffic,
+		Topology:            o.Topology,
+		LoadKbps:            o.OfferedLoadKbps,
+		Nodes:               o.Nodes,
+		SpeedMps:            o.SpeedMax,
+		ShadowingDB:         o.ShadowingSigmaDB,
+		SafetyFactor:        o.SafetyFactor,
+		EnergyProfile:       o.EnergyProfile,
+		BatteryJ:            o.BatteryJ,
+		Rep:                 r.Rep,
+		Seed:                r.Seed,
+		DurationS:           o.Duration.Seconds(),
+		ThroughputKbps:      res.ThroughputKbps,
+		AvgDelayMs:          res.AvgDelayMs,
+		DelayP50Ms:          res.DelayP50Ms,
+		DelayP95Ms:          res.DelayP95Ms,
+		DelayP99Ms:          res.DelayP99Ms,
+		JitterMs:            res.JitterMs,
+		PDR:                 res.PDR,
+		JainFairness:        res.JainFairness,
+		RadiatedEnergyJ:     res.RadiatedEnergyJ,
+		CtrlRadiatedEnergyJ: res.CtrlRadiatedEnergyJ,
+		ConsumedEnergyJ:     res.ConsumedEnergyJ,
+		EnergyTxJ:           res.EnergyByState[energy.Tx],
+		EnergyRxJ:           res.EnergyByState[energy.Rx],
+		EnergyIdleJ:         res.EnergyByState[energy.Idle],
+		EnergyOverhearJ:     res.EnergyByState[energy.Overhear],
+		EnergySleepJ:        res.EnergyByState[energy.Sleep],
+		ConsumedPerKBJ:      res.ConsumedPerDeliveredKB(),
+		EnergyFairness:      res.EnergyFairness,
+		DeadNodes:           res.DeadNodes,
+		TimeToFirstDeathS:   res.TimeToFirstDeathS,
+		Events:              res.Events,
 	}
+	for _, st := range res.AliveTimeline {
+		out.AliveTimeline = append(out.AliveTimeline, [2]float64{st.T.Seconds(), float64(st.Alive)})
+	}
+	return out
 }
 
 // WriteResult appends one JSONL record to w.

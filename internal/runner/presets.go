@@ -101,6 +101,22 @@ var presets = map[string]presetFunc{
 			Reps:       reps,
 		}
 	},
+	// lifetime gives every node a battery and compares how long the
+	// network lives under plain 802.11 versus the power-controlled MAC:
+	// time-to-first-death, the alive-node curve, and the consumed-energy
+	// split. Capacities are sized against the WaveLAN-class draw
+	// (~0.74 W idle) so deaths start mid-run at the default 100 s
+	// horizon; scale them with -duration for longer studies.
+	"lifetime": func(d float64, reps int, loads []float64) Campaign {
+		return Campaign{
+			Name:       "lifetime",
+			Base:       evalBase(d),
+			Schemes:    []mac.Scheme{mac.Basic, mac.PCMAC},
+			LoadsKbps:  loads,
+			BatteriesJ: []float64{40, 80},
+			Reps:       reps,
+		}
+	},
 	// reqresp exercises bidirectional request-response exchange, where
 	// both directions' delays (and the percentile tails) matter.
 	"reqresp": func(d float64, reps int, loads []float64) Campaign {

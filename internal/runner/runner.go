@@ -113,6 +113,12 @@ func (v Variant) apply(o *scenario.Options) error {
 	if p.ShadowingSigmaDB != 0 {
 		o.ShadowingSigmaDB = patched.ShadowingSigmaDB
 	}
+	if p.EnergyProfile != "" {
+		o.EnergyProfile = patched.EnergyProfile
+	}
+	if p.BatteryJ != 0 {
+		o.BatteryJ = patched.BatteryJ
+	}
 	if p.FlowRateSpreadPct != 0 {
 		o.FlowRateSpreadPct = patched.FlowRateSpreadPct
 	}
@@ -163,6 +169,12 @@ type Campaign struct {
 	ShadowingDB []float64
 	// SafetyFactors is the PCMAC tolerance-coefficient axis.
 	SafetyFactors []float64
+	// BatteriesJ is the battery-capacity axis in joules per node
+	// (0 = mains-powered).
+	BatteriesJ []float64
+	// EnergyProfiles is the radio draw-table axis (energy.Profiles
+	// names: wavelan|sensor).
+	EnergyProfiles []string
 
 	// Reps replicates each grid point with derived seeds (default 1).
 	Reps int
@@ -216,10 +228,52 @@ func DeriveSeed(base int64, key string) int64 {
 	return int64(x & 0x7fffffffffffffff)
 }
 
-// Runs expands the campaign grid into its deterministic run list:
-// variants × schemes × loads × nodes × speeds × shadowing × safety ×
-// replications, in that nesting order.
-func (c Campaign) Runs() ([]Run, error) {
+// axis is one dimension of the campaign grid in descriptor form: how
+// many values it has, whether it contributes a run-key segment and an
+// options override, and how to do both for value i. The grid is the
+// cross product of the axes slice in order, so adding a sweep dimension
+// is one sweepAxis call in axes() — no re-indented loops, no runKey
+// signature change, and unswept axes keep historical keys (and
+// therefore old checkpoints) stable.
+type axis struct {
+	// n is the axis length; unswept axes carry one pseudo-value.
+	n int
+	// inKey includes the segment in run keys (swept axes, plus the
+	// scheme and load axes which have always been part of the key).
+	inKey bool
+	// seg renders the key segment for value i, e.g. "tr=poisson".
+	seg func(i int) string
+	// apply overlays value i on the options; nil leaves the base value
+	// untouched (unswept axes must not clobber finer-grained base
+	// fields, e.g. SpeedMin != SpeedMax).
+	apply func(o *scenario.Options, i int) error
+	// variantName, set only on the variant axis, labels Run.Variant.
+	// Runs() discovers it by scanning, so the axes slice can be
+	// reordered or extended without silently mislabelling records.
+	variantName func(i int) string
+}
+
+// sweepAxis builds the common axis shape: swept (non-empty values)
+// axes appear in the key and override the base; unswept ones collapse
+// to a single inert value.
+func sweepAxis[T any](values []T, tag string, format func(T) string, set func(o *scenario.Options, v T)) axis {
+	if len(values) == 0 {
+		return axis{n: 1}
+	}
+	return axis{
+		n:     len(values),
+		inKey: true,
+		seg:   func(i int) string { return tag + "=" + format(values[i]) },
+		apply: func(o *scenario.Options, i int) error { set(o, values[i]); return nil },
+	}
+}
+
+func formatG(v float64) string { return fmt.Sprintf("%g", v) }
+
+// axes expands the campaign's sweep dimensions into descriptor form,
+// in the fixed historical nesting order: variant, scheme, traffic,
+// topology, load, nodes, speed, shadowing, safety, battery, profile.
+func (c Campaign) axes() []axis {
 	variants := c.Variants
 	if len(variants) == 0 {
 		variants = []Variant{{}}
@@ -228,34 +282,64 @@ func (c Campaign) Runs() ([]Run, error) {
 	if len(schemes) == 0 {
 		schemes = []mac.Scheme{c.Base.Scheme}
 	}
-	traffics := c.Traffics
-	if len(traffics) == 0 {
-		traffics = []string{c.Base.Traffic}
-	}
-	topos := c.Topologies
-	if len(topos) == 0 {
-		topos = []string{c.Base.Topology}
-	}
 	loads := c.LoadsKbps
 	if len(loads) == 0 {
 		loads = []float64{c.Base.OfferedLoadKbps}
 	}
-	nodes := c.Nodes
-	if len(nodes) == 0 {
-		nodes = []int{c.Base.Nodes}
+	return []axis{
+		{
+			// The variant axis applies its declarative patch first, so
+			// explicit axes win over patch fields.
+			n:           len(variants),
+			inKey:       len(c.Variants) > 0,
+			seg:         func(i int) string { return "v=" + variants[i].Name },
+			apply:       func(o *scenario.Options, i int) error { return variants[i].apply(o) },
+			variantName: func(i int) string { return variants[i].Name },
+		},
+		{
+			// Scheme and load are always keyed and applied, swept or not
+			// — they have identified runs since the first checkpoint
+			// format.
+			n:     len(schemes),
+			inKey: true,
+			seg:   func(i int) string { return "s=" + schemes[i].String() },
+			apply: func(o *scenario.Options, i int) error { o.Scheme = schemes[i]; return nil },
+		},
+		sweepAxis(c.Traffics, "tr", func(s string) string { return s },
+			func(o *scenario.Options, v string) { o.Traffic = v }),
+		sweepAxis(c.Topologies, "top", func(s string) string { return s },
+			func(o *scenario.Options, v string) { o.Topology = v }),
+		{
+			n:     len(loads),
+			inKey: true,
+			seg:   func(i int) string { return "load=" + formatG(loads[i]) },
+			apply: func(o *scenario.Options, i int) error { o.OfferedLoadKbps = loads[i]; return nil },
+		},
+		sweepAxis(c.Nodes, "n", func(n int) string { return fmt.Sprintf("%d", n) },
+			func(o *scenario.Options, v int) { o.Nodes = v }),
+		sweepAxis(c.SpeedsMps, "sp", formatG,
+			func(o *scenario.Options, v float64) { o.SpeedMin, o.SpeedMax = v, v }),
+		sweepAxis(c.ShadowingDB, "sh", formatG,
+			func(o *scenario.Options, v float64) { o.ShadowingSigmaDB = v }),
+		sweepAxis(c.SafetyFactors, "sf", formatG,
+			func(o *scenario.Options, v float64) { o.SafetyFactor = v }),
+		sweepAxis(c.BatteriesJ, "bat", formatG,
+			func(o *scenario.Options, v float64) { o.BatteryJ = v }),
+		sweepAxis(c.EnergyProfiles, "ep", func(s string) string { return s },
+			func(o *scenario.Options, v string) { o.EnergyProfile = v }),
 	}
-	speeds := c.SpeedsMps
-	if len(speeds) == 0 {
-		speeds = []float64{c.Base.SpeedMax}
+}
+
+// Runs expands the campaign grid into its deterministic run list: the
+// cross product of the axes() descriptors (variants outermost) with
+// replications innermost.
+func (c Campaign) Runs() ([]Run, error) {
+	for _, load := range c.LoadsKbps {
+		if load < 0 {
+			return nil, fmt.Errorf("runner: negative load %g", load)
+		}
 	}
-	shadows := c.ShadowingDB
-	if len(shadows) == 0 {
-		shadows = []float64{c.Base.ShadowingSigmaDB}
-	}
-	safeties := c.SafetyFactors
-	if len(safeties) == 0 {
-		safeties = []float64{c.Base.SafetyFactor}
-	}
+	axes := c.axes()
 	reps := c.Reps
 	if len(c.SeedList) > 0 {
 		reps = len(c.SeedList)
@@ -270,107 +354,74 @@ func (c Campaign) Runs() ([]Run, error) {
 
 	var runs []Run
 	seen := make(map[string]bool)
-	for _, v := range variants {
-		for _, s := range schemes {
-			for _, tr := range traffics {
-				for _, top := range topos {
-					for _, load := range loads {
-						if load < 0 {
-							return nil, fmt.Errorf("runner: negative load %g", load)
-						}
-						for _, n := range nodes {
-							for _, sp := range speeds {
-								for _, sh := range shadows {
-									for _, sf := range safeties {
-										for rep := 0; rep < reps; rep++ {
-											key := c.runKey(v, s, tr, top, load, n, sp, sh, sf, rep)
-											if seen[key] {
-												return nil, fmt.Errorf("runner: duplicate run key %q (repeated axis value?)", key)
-											}
-											seen[key] = true
-											opts := c.Base
-											if err := v.apply(&opts); err != nil {
-												return nil, err
-											}
-											opts.Scheme = s
-											opts.OfferedLoadKbps = load
-											if len(c.Traffics) > 0 {
-												opts.Traffic = tr
-											}
-											if len(c.Topologies) > 0 {
-												opts.Topology = top
-											}
-											if len(c.Nodes) > 0 {
-												opts.Nodes = n
-											}
-											if len(c.SpeedsMps) > 0 {
-												opts.SpeedMin, opts.SpeedMax = sp, sp
-											}
-											if len(c.ShadowingDB) > 0 {
-												opts.ShadowingSigmaDB = sh
-											}
-											if len(c.SafetyFactors) > 0 {
-												opts.SafetyFactor = sf
-											}
-											seed := DeriveSeed(baseSeed, key)
-											if len(c.SeedList) > 0 {
-												seed = c.SeedList[rep]
-											}
-											opts.Seed = seed
-											if err := scenario.Validate(opts); err != nil {
-												return nil, fmt.Errorf("runner: run %s: %w", key, err)
-											}
-											runs = append(runs, Run{
-												Index:   len(runs),
-												Key:     key,
-												Variant: v.Name,
-												Rep:     rep,
-												Seed:    seed,
-												Opts:    opts,
-											})
-										}
-									}
-								}
-							}
-						}
-					}
+	idx := make([]int, len(axes))
+	for {
+		// Key prefix for this grid point, from the keyed axes in order.
+		var b strings.Builder
+		for k, ax := range axes {
+			if !ax.inKey {
+				continue
+			}
+			if b.Len() > 0 {
+				b.WriteByte('/')
+			}
+			b.WriteString(ax.seg(idx[k]))
+		}
+		prefix := b.String()
+
+		for rep := 0; rep < reps; rep++ {
+			key := fmt.Sprintf("%s/rep=%d", prefix, rep)
+			if seen[key] {
+				return nil, fmt.Errorf("runner: duplicate run key %q (repeated axis value?)", key)
+			}
+			seen[key] = true
+			opts := c.Base
+			for k, ax := range axes {
+				if ax.apply == nil {
+					continue
+				}
+				if err := ax.apply(&opts, idx[k]); err != nil {
+					return nil, err
 				}
 			}
+			seed := DeriveSeed(baseSeed, key)
+			if len(c.SeedList) > 0 {
+				seed = c.SeedList[rep]
+			}
+			opts.Seed = seed
+			if err := scenario.Validate(opts); err != nil {
+				return nil, fmt.Errorf("runner: run %s: %w", key, err)
+			}
+			variant := ""
+			for k, ax := range axes {
+				if ax.variantName != nil {
+					variant = ax.variantName(idx[k])
+				}
+			}
+			runs = append(runs, Run{
+				Index:   len(runs),
+				Key:     key,
+				Variant: variant,
+				Rep:     rep,
+				Seed:    seed,
+				Opts:    opts,
+			})
+		}
+
+		// Odometer increment, last axis fastest (replications are the
+		// innermost loop above).
+		k := len(axes) - 1
+		for ; k >= 0; k-- {
+			idx[k]++
+			if idx[k] < axes[k].n {
+				break
+			}
+			idx[k] = 0
+		}
+		if k < 0 {
+			return runs, nil
 		}
 	}
-	return runs, nil
-}
-
-// runKey builds the stable identifier of one run. Axes the campaign
-// does not sweep are omitted so keys stay short and resumable
-// checkpoints survive adding defaults.
-func (c Campaign) runKey(v Variant, s mac.Scheme, tr, top string, load float64, n int, sp, sh, sf float64, rep int) string {
-	var b strings.Builder
-	if len(c.Variants) > 0 {
-		fmt.Fprintf(&b, "v=%s/", v.Name)
-	}
-	fmt.Fprintf(&b, "s=%s", s)
-	if len(c.Traffics) > 0 {
-		fmt.Fprintf(&b, "/tr=%s", tr)
-	}
-	if len(c.Topologies) > 0 {
-		fmt.Fprintf(&b, "/top=%s", top)
-	}
-	fmt.Fprintf(&b, "/load=%g", load)
-	if len(c.Nodes) > 0 {
-		fmt.Fprintf(&b, "/n=%d", n)
-	}
-	if len(c.SpeedsMps) > 0 {
-		fmt.Fprintf(&b, "/sp=%g", sp)
-	}
-	if len(c.ShadowingDB) > 0 {
-		fmt.Fprintf(&b, "/sh=%g", sh)
-	}
-	if len(c.SafetyFactors) > 0 {
-		fmt.Fprintf(&b, "/sf=%g", sf)
-	}
-	fmt.Fprintf(&b, "/rep=%d", rep)
-	return b.String()
 }
 
 // SingleRun wraps one scenario as a one-run campaign Run, so ad-hoc

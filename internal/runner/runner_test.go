@@ -566,6 +566,19 @@ func TestSingleRunRecord(t *testing.T) {
 	if rec.ThroughputKbps <= 0 {
 		t.Errorf("throughput = %g", rec.ThroughputKbps)
 	}
+	// The energy subsystem's JSONL invariants: the full-radio budget
+	// strictly exceeds the radiated-only integral, the state split adds
+	// up, and the alive timeline is never empty.
+	if rec.ConsumedEnergyJ <= rec.RadiatedEnergyJ {
+		t.Errorf("consumed %g J <= radiated %g J", rec.ConsumedEnergyJ, rec.RadiatedEnergyJ)
+	}
+	split := rec.EnergyTxJ + rec.EnergyRxJ + rec.EnergyIdleJ + rec.EnergyOverhearJ + rec.EnergySleepJ
+	if d := rec.ConsumedEnergyJ - split; d > 1e-9 || d < -1e-9 {
+		t.Errorf("state split %g J != consumed %g J", split, rec.ConsumedEnergyJ)
+	}
+	if len(rec.AliveTimeline) == 0 || rec.AliveTimeline[0][1] != float64(rec.Nodes) {
+		t.Errorf("alive timeline = %v", rec.AliveTimeline)
+	}
 }
 
 // TestExecuteRepeatDeterministic requires byte-identical JSONL on
@@ -609,6 +622,25 @@ func TestExecuteRepeatDeterministic(t *testing.T) {
 				Reps:       1,
 			},
 		},
+		{
+			// The lifetime case extends the contract to the battery
+			// feedback path: with 1 J WaveLAN-class batteries most of the
+			// 30 nodes die mid-run (idle draw alone empties them at
+			// ~1.35 s of the 2 s horizon), so death timers, radio
+			// power-off, MAC halts and AODV re-routing must all replay
+			// byte-identically; the sensor-profile grid point exercises
+			// the no-deaths branch of the same axes.
+			name: "lifetime-battery",
+			c: Campaign{
+				Name:           "repeat-lifetime",
+				Base:           withNodes(base, 30),
+				Schemes:        []mac.Scheme{mac.PCMAC},
+				LoadsKbps:      []float64{300},
+				BatteriesJ:     []float64{1},
+				EnergyProfiles: []string{"wavelan", "sensor"},
+				Reps:           1,
+			},
+		},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
@@ -630,6 +662,93 @@ func TestExecuteRepeatDeterministic(t *testing.T) {
 				}
 			}
 		})
+	}
+}
+
+// TestEnergyAxes covers the two descriptor-driven energy axes: key
+// segments appear only when swept (so historical checkpoints keep
+// resolving), in the fixed bat=/ep= position, and the values land in
+// the expanded options.
+func TestEnergyAxes(t *testing.T) {
+	c := Campaign{
+		Base:           tinyBase(),
+		Schemes:        []mac.Scheme{mac.PCMAC},
+		LoadsKbps:      []float64{40},
+		BatteriesJ:     []float64{0, 5},
+		EnergyProfiles: []string{"wavelan", "sensor"},
+	}
+	runs, err := c.Runs()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(runs) != 4 {
+		t.Fatalf("runs = %d", len(runs))
+	}
+	last := runs[3]
+	if last.Key != "s=pcmac/load=40/bat=5/ep=sensor/rep=0" {
+		t.Fatalf("key = %q", last.Key)
+	}
+	if last.Opts.BatteryJ != 5 || last.Opts.EnergyProfile != "sensor" {
+		t.Fatalf("opts = %+v", last.Opts)
+	}
+	if runs[0].Opts.BatteryJ != 0 || runs[0].Opts.EnergyProfile != "wavelan" {
+		t.Fatalf("first opts = %+v", runs[0].Opts)
+	}
+
+	// Unswept: the base carries the fields, keys stay in the historical
+	// format with no energy segments.
+	base := tinyBase()
+	base.BatteryJ = 3
+	base.EnergyProfile = "sensor"
+	plain := Campaign{Base: base, Schemes: []mac.Scheme{mac.PCMAC}, LoadsKbps: []float64{40}}
+	runs, err = plain.Runs()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if runs[0].Key != "s=pcmac/load=40/rep=0" {
+		t.Fatalf("unswept key = %q", runs[0].Key)
+	}
+	if runs[0].Opts.BatteryJ != 3 || runs[0].Opts.EnergyProfile != "sensor" {
+		t.Fatalf("unswept opts lost base energy fields: %+v", runs[0].Opts)
+	}
+
+	// A bad profile on the axis is a spec error at expansion time.
+	bad := Campaign{Base: tinyBase(), Schemes: []mac.Scheme{mac.PCMAC}, LoadsKbps: []float64{40}, EnergyProfiles: []string{"nuclear"}}
+	if _, err := bad.Runs(); err == nil {
+		t.Fatal("unknown energy profile accepted")
+	}
+}
+
+// TestEnergyAxesSpecRoundTrip requires the new axes to survive the JSON
+// spec form.
+func TestEnergyAxesSpecRoundTrip(t *testing.T) {
+	c := Campaign{
+		Name:           "rt",
+		Base:           tinyBase(),
+		Schemes:        []mac.Scheme{mac.Basic},
+		LoadsKbps:      []float64{40},
+		BatteriesJ:     []float64{10, 20},
+		EnergyProfiles: []string{"sensor"},
+	}
+	back, err := c.File().Campaign()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back.BatteriesJ) != 2 || back.BatteriesJ[1] != 20 || len(back.EnergyProfiles) != 1 {
+		t.Fatalf("round trip lost energy axes: %+v", back)
+	}
+	a, err := c.Runs()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := back.Runs()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a {
+		if a[i].Key != b[i].Key || a[i].Seed != b[i].Seed {
+			t.Fatalf("run %d differs after round trip: %v vs %v", i, a[i], b[i])
+		}
 	}
 }
 

@@ -48,7 +48,7 @@ func TestPaperHeadlineClaims(t *testing.T) {
 			}
 			a.Tput += o.res.ThroughputKbps / float64(len(seeds))
 			a.Delay += o.res.AvgDelayMs / float64(len(seeds))
-			a.Energy += o.res.EnergyJ / float64(len(seeds))
+			a.Energy += o.res.RadiatedEnergyJ / float64(len(seeds))
 			a.CtrlSent += o.res.Ctrl.Sent
 			a.Defers += o.res.MAC.ToleranceDefer
 			a.Retx += o.res.MAC.ImplicitRetx

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"os"
 
+	"repro/internal/energy"
 	"repro/internal/geom"
 	"repro/internal/mac"
 	"repro/internal/packet"
@@ -49,6 +50,8 @@ type FileConfig struct {
 	DisableCtrlChannel bool         `json:"disable_ctrl_channel,omitempty"`
 	DisableThreeWay    bool         `json:"disable_three_way,omitempty"`
 	ShadowingSigmaDB   float64      `json:"shadowing_sigma_db,omitempty"`
+	EnergyProfile      string       `json:"energy_profile,omitempty"`
+	BatteryJ           float64      `json:"battery_j,omitempty"`
 	FlowRateSpreadPct  float64      `json:"flow_rate_spread_pct,omitempty"`
 	RTSThresholdBytes  int          `json:"rts_threshold_bytes,omitempty"`
 	Static             [][2]float64 `json:"static,omitempty"`
@@ -86,6 +89,8 @@ func (fc FileConfig) Options() (Options, error) {
 		DisableCtrlChannel: fc.DisableCtrlChannel,
 		DisableThreeWay:    fc.DisableThreeWay,
 		ShadowingSigmaDB:   fc.ShadowingSigmaDB,
+		EnergyProfile:      fc.EnergyProfile,
+		BatteryJ:           fc.BatteryJ,
 		FlowRateSpreadPct:  fc.FlowRateSpreadPct,
 	}
 	if fc.RTSThresholdBytes > 0 {
@@ -131,8 +136,13 @@ func validate(o Options) error {
 		return fmt.Errorf("scenario: pareto shape %g must exceed 1", o.ParetoShape)
 	case o.ResponseBytes < 0:
 		return fmt.Errorf("scenario: negative response bytes")
+	case o.BatteryJ < 0:
+		return fmt.Errorf("scenario: negative battery capacity %g J", o.BatteryJ)
 	}
 	if _, err := traffic.ParseModel(o.Traffic); err != nil {
+		return err
+	}
+	if _, err := energy.ParseProfile(o.EnergyProfile); err != nil {
 		return err
 	}
 	if err := CheckTopology(o.Topology); err != nil {
@@ -199,6 +209,8 @@ func ToFileConfig(o Options) FileConfig {
 		DisableCtrlChannel: o.DisableCtrlChannel,
 		DisableThreeWay:    o.DisableThreeWay,
 		ShadowingSigmaDB:   o.ShadowingSigmaDB,
+		EnergyProfile:      o.EnergyProfile,
+		BatteryJ:           o.BatteryJ,
 		FlowRateSpreadPct:  o.FlowRateSpreadPct,
 		RTSThresholdBytes:  o.MAC.RTSThresholdBytes,
 	}

@@ -22,8 +22,8 @@ func TestSpatialReuse(t *testing.T) {
 		t.Fatalf("no spatial reuse: pcmac=%.1f kbps vs basic=%.1f kbps",
 			pcmac.ThroughputKbps, basic.ThroughputKbps)
 	}
-	if pcmac.EnergyJ >= basic.EnergyJ {
-		t.Fatalf("power control used more energy: %.2f J vs %.2f J", pcmac.EnergyJ, basic.EnergyJ)
+	if pcmac.RadiatedEnergyJ >= basic.RadiatedEnergyJ {
+		t.Fatalf("power control used more energy: %.2f J vs %.2f J", pcmac.RadiatedEnergyJ, basic.RadiatedEnergyJ)
 	}
 }
 

@@ -109,16 +109,16 @@ func TestBasicNetworkHasNoCtrlChannel(t *testing.T) {
 	}
 }
 
-func TestEnergyPerDeliveredKB(t *testing.T) {
+func TestRadiatedPerDeliveredKB(t *testing.T) {
 	res, err := Run(twoNodeOpts(mac.Basic))
 	if err != nil {
 		t.Fatal(err)
 	}
-	if res.EnergyPerDeliveredKB() <= 0 {
-		t.Fatalf("energy per KB = %v", res.EnergyPerDeliveredKB())
+	if res.RadiatedPerDeliveredKB() <= 0 {
+		t.Fatalf("energy per KB = %v", res.RadiatedPerDeliveredKB())
 	}
 	var empty Result
-	if empty.EnergyPerDeliveredKB() != 0 {
+	if empty.RadiatedPerDeliveredKB() != 0 {
 		t.Fatal("empty result energy per KB should be 0")
 	}
 }

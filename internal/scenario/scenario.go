@@ -10,6 +10,7 @@ import (
 
 	"repro/internal/aodv"
 	"repro/internal/ctrl"
+	"repro/internal/energy"
 	"repro/internal/geom"
 	"repro/internal/mac"
 	"repro/internal/mobility"
@@ -113,6 +114,18 @@ type Options struct {
 	// the per-frame full propagation walk. Results are identical either
 	// way; the knob exists for cache-soundness tests and perf A/Bs.
 	DisableLinkCache bool
+	// EnergyProfile names the radio's electrical draw table
+	// (energy.Profiles; "" is the WaveLAN-like default). The accountant
+	// it feeds is a pure observer: it never perturbs RNG streams or
+	// event ordering, so every non-energy metric is independent of the
+	// profile.
+	EnergyProfile string
+	// BatteryJ gives every node a battery of this capacity in joules.
+	// Zero (the default) means mains-powered: consumption is still
+	// accounted but nothing dies. With a battery, depletion feeds back:
+	// the dead node's radios power off, its MAC halts, and AODV must
+	// route around it.
+	BatteryJ float64
 }
 
 // withDefaults fills zero fields with the paper's parameters.
@@ -212,10 +225,37 @@ type Result struct {
 	MAC     mac.Stats
 	Ctrl    ctrl.Stats
 	Routing aodv.Stats
-	// EnergyJ is total radiated energy on the data channel;
-	// CtrlEnergyJ on the control channel.
-	EnergyJ     float64
-	CtrlEnergyJ float64
+	// RadiatedEnergyJ is total *radiated* TX energy on the data channel
+	// and CtrlRadiatedEnergyJ on the control channel — the quantity the
+	// paper's evaluation integrates (JSONL field energy_j, kept under
+	// that name for checkpoint compatibility). It excludes circuit
+	// overhead, receive, idle-listening and overhearing draw; see
+	// ConsumedEnergyJ for the full-radio budget.
+	RadiatedEnergyJ     float64
+	CtrlRadiatedEnergyJ float64
+
+	// ConsumedEnergyJ is the full-radio electrical consumption summed
+	// over all nodes' radios — for PCMAC, the always-on control-channel
+	// receiver is metered alongside the data radio and drains the same
+	// battery — split by state in EnergyByState.
+	ConsumedEnergyJ float64
+	// EnergyByState splits ConsumedEnergyJ into TX (circuit + radiated),
+	// RX, idle-listening, overhear-then-discard and sleep joules.
+	EnergyByState energy.Breakdown
+	// NodeEnergy is the per-node accounting, indexed by node ID.
+	NodeEnergy []NodeEnergy
+	// EnergyFairness is Jain's index over per-node residual energy when
+	// batteries are enabled, or over per-node consumed energy otherwise
+	// (consumption fairness).
+	EnergyFairness float64
+	// DeadNodes counts battery deaths; TimeToFirstDeathS is the
+	// network-lifetime metric (0 when every node survived).
+	DeadNodes         int
+	TimeToFirstDeathS float64
+	// AliveTimeline is the alive-node step curve: the population at
+	// time zero plus one step per death. Never empty.
+	AliveTimeline []stats.AliveStep
+
 	// Events is the number of simulator events executed.
 	Events uint64
 	// Timeline is the per-bucket evolution (nil unless
@@ -223,17 +263,47 @@ type Result struct {
 	Timeline *stats.Timeline
 }
 
-// EnergyPerDeliveredKB returns radiated joules per delivered kilobyte of
-// payload, a power-efficiency view of the same run.
-func (r Result) EnergyPerDeliveredKB() float64 {
+// NodeEnergy is one terminal's energy accounting at end of run.
+type NodeEnergy struct {
+	Node packet.NodeID
+	// ByState is the consumed joules per radio state.
+	ByState energy.Breakdown
+	// ResidualJ is the remaining battery charge (0 without a battery).
+	ResidualJ float64
+	// DiedAt is the depletion instant; Dead is false for survivors.
+	Dead   bool
+	DiedAt sim.Time
+}
+
+// deliveredKB returns total delivered payload in kilobytes.
+func (r Result) deliveredKB() float64 {
 	var bytes float64
 	for _, f := range r.Flows {
 		bytes += float64(f.Bytes)
 	}
-	if bytes == 0 {
+	return bytes / 1024
+}
+
+// RadiatedPerDeliveredKB returns *radiated* joules (data + control
+// channel) per delivered kilobyte of payload — the paper's
+// power-efficiency view.
+func (r Result) RadiatedPerDeliveredKB() float64 {
+	kb := r.deliveredKB()
+	if kb == 0 {
 		return 0
 	}
-	return (r.EnergyJ + r.CtrlEnergyJ) / (bytes / 1024)
+	return (r.RadiatedEnergyJ + r.CtrlRadiatedEnergyJ) / kb
+}
+
+// ConsumedPerDeliveredKB returns full-radio consumed joules per
+// delivered kilobyte — what a battery actually pays per byte of useful
+// work, including idle listening and overhearing.
+func (r Result) ConsumedPerDeliveredKB() float64 {
+	kb := r.deliveredKB()
+	if kb == 0 {
+		return 0
+	}
+	return r.ConsumedEnergyJ / kb
 }
 
 // Network is a fully built scenario, exposed so examples and tests can
@@ -251,6 +321,12 @@ type Network struct {
 
 // Build constructs the network without running it.
 func Build(o Options) (*Network, error) {
+	// Spec-time validation also guards the direct-Options path (CLIs,
+	// examples, library callers), so bad configurations return errors
+	// here instead of panicking deep inside a run.
+	if err := validate(o); err != nil {
+		return nil, err
+	}
 	o = o.withDefaults()
 	sched := sim.NewScheduler()
 	par := phys.DefaultParams()
@@ -274,6 +350,10 @@ func Build(o Options) (*Network, error) {
 	nextUID := func() uint64 { uid++; return uid }
 
 	tmodel, err := traffic.ParseModel(o.Traffic)
+	if err != nil {
+		return nil, fmt.Errorf("scenario: %w", err)
+	}
+	eprof, err := energy.ParseProfile(o.EnergyProfile)
 	if err != nil {
 		return nil, fmt.Errorf("scenario: %w", err)
 	}
@@ -305,6 +385,7 @@ func Build(o Options) (*Network, error) {
 
 	collector := stats.NewCollector(sim.Time(o.Warmup))
 	nw.Collector = collector
+	collector.SetPopulation(o.Nodes)
 	if o.TimelineBucket > 0 {
 		nw.Timeline = stats.NewTimeline(o.TimelineBucket)
 	}
@@ -322,9 +403,28 @@ func Build(o Options) (*Network, error) {
 			mob = mobility.NewWaypoint(field, o.SpeedMin, o.SpeedMax, o.Pause, rand.New(rand.NewSource(master.Int63())))
 		}
 		epochs.Track(mob)
-		n, err := node.New(packet.NodeID(i), sched, dataCh, ctrlCh, mob, ncfg, rand.New(rand.NewSource(master.Int63())))
+		// One energy accountant per radio, draining one shared battery
+		// per terminal: a PCMAC node's always-on control receiver costs
+		// real joules too, and must shorten the same lifetime. Without a
+		// battery the accountants are pure observers; with one,
+		// depletion halts the node through node.Die and the collector
+		// records the death step.
+		icfg := ncfg
+		icfg.Energy = energy.NewAccountant(sched, energy.Config{Profile: eprof, CapacityJ: o.BatteryJ})
+		if ctrlCh != nil && ncfg.CtrlBitRateBps > 0 {
+			icfg.CtrlEnergy = energy.NewAccountant(sched, energy.Config{Profile: eprof, Battery: icfg.Energy.Battery()})
+		}
+		n, err := node.New(packet.NodeID(i), sched, dataCh, ctrlCh, mob, icfg, rand.New(rand.NewSource(master.Int63())))
 		if err != nil {
 			return nil, fmt.Errorf("scenario: %w", err)
+		}
+		// OnDeath is wired unconditionally: it only ever fires when a
+		// battery depletes (Options.BatteryJ, or a per-node SetCapacity
+		// applied by tests/tools after Build).
+		dying := n
+		icfg.Energy.Battery().OnDeath = func() {
+			dying.Die()
+			collector.NodeDied(sched.Now())
 		}
 		n.Router.NextUID = nextUID
 		n.Router.Deliver = func(np *packet.NetPacket, from packet.NodeID) {
@@ -434,10 +534,11 @@ func (nw *Network) Run() Result {
 		Events:         nw.Sched.Executed(),
 		Timeline:       nw.Timeline,
 	}
+	var residuals, consumed []float64
 	for _, n := range nw.Nodes {
 		res.MAC.Add(n.MAC.Stats)
 		res.Routing.Add(n.Router.Stats)
-		res.EnergyJ += n.MAC.Radio().EnergyTxJ
+		res.RadiatedEnergyJ += n.MAC.Radio().EnergyTxJ
 		if n.Ctrl != nil {
 			s := n.Ctrl.Stats
 			res.Ctrl.Sent += s.Sent
@@ -446,10 +547,32 @@ func (nw *Network) Run() Result {
 			res.Ctrl.Corrupted += s.Corrupted
 			res.Ctrl.Malformed += s.Malformed
 		}
+		if a := n.Energy; a != nil {
+			a.Flush() // settle idle draw up to the horizon
+			ne := NodeEnergy{Node: n.ID, ByState: a.Consumed(), ResidualJ: a.ResidualJ()}
+			if ca := n.CtrlEnergy; ca != nil {
+				ca.Flush()
+				ne.ByState.AddFrom(ca.Consumed()) // control receiver: same node, same battery
+			}
+			ne.DiedAt, ne.Dead = a.DiedAt()
+			res.NodeEnergy = append(res.NodeEnergy, ne)
+			res.EnergyByState.AddFrom(ne.ByState)
+			consumed = append(consumed, ne.ByState.Total())
+			residuals = append(residuals, ne.ResidualJ)
+		}
 	}
+	res.ConsumedEnergyJ = res.EnergyByState.Total()
+	if o.BatteryJ > 0 {
+		res.EnergyFairness = stats.Jain(residuals)
+	} else {
+		res.EnergyFairness = stats.Jain(consumed)
+	}
+	res.DeadNodes = nw.Collector.DeadNodes()
+	res.TimeToFirstDeathS = nw.Collector.FirstDeathS()
+	res.AliveTimeline = nw.Collector.AliveTimeline()
 	if nw.CtrlCh != nil {
 		for _, r := range nw.CtrlCh.Radios() {
-			res.CtrlEnergyJ += r.EnergyTxJ
+			res.CtrlRadiatedEnergyJ += r.EnergyTxJ
 		}
 	}
 	return res

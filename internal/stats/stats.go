@@ -68,6 +68,19 @@ type Collector struct {
 
 	// Network-wide delay digests over every in-window delivery.
 	p50, p95, p99 Quantile
+
+	// Alive-node tracking for battery/lifetime scenarios: population is
+	// the terminal count, deaths the battery-depletion steps in time
+	// order.
+	population int
+	deaths     []AliveStep
+}
+
+// AliveStep is one point of the alive-node timeline: at T the number of
+// alive terminals dropped to Alive.
+type AliveStep struct {
+	T     sim.Time
+	Alive int
 }
 
 type flowSeq struct {
@@ -130,6 +143,38 @@ func (c *Collector) flow(id uint32) *flowAcc {
 		c.flows[id] = f
 	}
 	return f
+}
+
+// SetPopulation records the terminal count, anchoring the alive-node
+// timeline.
+func (c *Collector) SetPopulation(n int) { c.population = n }
+
+// NodeDied records one battery death at time now. Calls must arrive in
+// simulation-time order (they do: the accountants' death timers fire on
+// the single event loop).
+func (c *Collector) NodeDied(now sim.Time) {
+	c.deaths = append(c.deaths, AliveStep{T: now, Alive: c.population - len(c.deaths) - 1})
+}
+
+// DeadNodes returns how many terminals died.
+func (c *Collector) DeadNodes() int { return len(c.deaths) }
+
+// FirstDeathS returns the time of the first battery death in seconds,
+// or 0 when every node survived — the network-lifetime headline metric.
+func (c *Collector) FirstDeathS() float64 {
+	if len(c.deaths) == 0 {
+		return 0
+	}
+	return c.deaths[0].T.Seconds()
+}
+
+// AliveTimeline returns the alive-node step curve: the initial
+// population at time zero followed by one step per death. It is never
+// empty once SetPopulation was called.
+func (c *Collector) AliveTimeline() []AliveStep {
+	out := make([]AliveStep, 0, len(c.deaths)+1)
+	out = append(out, AliveStep{T: 0, Alive: c.population})
+	return append(out, c.deaths...)
 }
 
 // PacketSent records an application-layer injection.
@@ -275,18 +320,26 @@ func (c *Collector) PDR() float64 {
 // JainFairness returns Jain's fairness index over per-flow delivered
 // byte counts: (sum x)^2 / (n * sum x^2), 1.0 = perfectly fair.
 func (c *Collector) JainFairness() float64 {
-	var sum, sumSq float64
-	n := 0
+	xs := make([]float64, 0, len(c.flows))
 	for _, f := range c.flows {
-		x := float64(f.Bytes)
+		xs = append(xs, float64(f.Bytes))
+	}
+	return Jain(xs)
+}
+
+// Jain returns Jain's fairness index (sum x)^2 / (n * sum x^2) over xs;
+// 1.0 is perfectly fair, 0 the degenerate empty/all-zero case. The
+// energy subsystem uses it over per-node residual (or consumed) energy.
+func Jain(xs []float64) float64 {
+	var sum, sumSq float64
+	for _, x := range xs {
 		sum += x
 		sumSq += x * x
-		n++
 	}
-	if n == 0 || sumSq == 0 {
+	if len(xs) == 0 || sumSq == 0 {
 		return 0
 	}
-	return sum * sum / (float64(n) * sumSq)
+	return sum * sum / (float64(len(xs)) * sumSq)
 }
 
 // Series is a simple numeric aggregation helper for multi-seed runs.

@@ -278,3 +278,42 @@ func TestTimePointEdges(t *testing.T) {
 		t.Fatal("zero point non-zero metrics")
 	}
 }
+
+func TestJain(t *testing.T) {
+	if got := Jain(nil); got != 0 {
+		t.Fatalf("Jain(nil) = %g", got)
+	}
+	if got := Jain([]float64{0, 0}); got != 0 {
+		t.Fatalf("Jain(zeros) = %g", got)
+	}
+	if got := Jain([]float64{5, 5, 5, 5}); got != 1 {
+		t.Fatalf("Jain(equal) = %g", got)
+	}
+	// One of two holds everything: index 1/2.
+	if got := Jain([]float64{10, 0}); got != 0.5 {
+		t.Fatalf("Jain(skewed) = %g", got)
+	}
+}
+
+func TestAliveTimeline(t *testing.T) {
+	c := NewCollector(0)
+	c.SetPopulation(5)
+	if tl := c.AliveTimeline(); len(tl) != 1 || tl[0].Alive != 5 || tl[0].T != 0 {
+		t.Fatalf("initial timeline = %+v", tl)
+	}
+	c.NodeDied(sim.Time(2 * sim.Second))
+	c.NodeDied(sim.Time(3 * sim.Second))
+	tl := c.AliveTimeline()
+	want := []AliveStep{{0, 5}, {sim.Time(2 * sim.Second), 4}, {sim.Time(3 * sim.Second), 3}}
+	if len(tl) != len(want) {
+		t.Fatalf("timeline = %+v", tl)
+	}
+	for i := range want {
+		if tl[i] != want[i] {
+			t.Fatalf("step %d = %+v, want %+v", i, tl[i], want[i])
+		}
+	}
+	if c.DeadNodes() != 2 || c.FirstDeathS() != 2 {
+		t.Fatalf("dead=%d first=%g", c.DeadNodes(), c.FirstDeathS())
+	}
+}
