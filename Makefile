@@ -5,7 +5,7 @@ GO ?= go
 # Hot-path microbenchmarks tracked by the perf trajectory (bench-json)
 # and the CI benchstat delta; ci.yml consumes them via the bench-micro
 # and bench-json targets, so this regex is the single source of truth.
-MICRO_BENCH = BenchmarkSchedulerChurn|BenchmarkTimerChurn|BenchmarkSchedulerFanOut|BenchmarkChannelTransmit|BenchmarkRadioArrivals|BenchmarkEnergyAccounting
+MICRO_BENCH = BenchmarkSchedulerChurn|BenchmarkTimerChurn|BenchmarkSchedulerFanOut|BenchmarkChannelTransmit|BenchmarkLinkRowLookup|BenchmarkRadioArrivals|BenchmarkEnergyAccounting
 BENCH_DATE ?= $(shell date +%Y-%m-%d)
 
 .PHONY: all build test bench bench-micro bench-json lint lint-golangci campaign-smoke fmt
@@ -50,16 +50,19 @@ lint-golangci:
 
 # campaign-smoke mirrors CI's end-to-end campaign job: the bursty
 # preset must dry-run, execute a tiny grid to non-empty JSONL, and
-# resume cleanly from its own checkpoint.
+# resume cleanly from its own checkpoint; the scale preset must expand
+# and push a real 500-node run through the spatial index.
 campaign-smoke:
 	@$(GO) run ./cmd/campaign -preset bursty -dry-run > /dev/null
+	@$(GO) run ./cmd/campaign -preset scale -dry-run > /dev/null
 	@tmp=$$(mktemp); \
 	$(GO) run ./cmd/campaign -preset bursty -duration 4 -seeds 1 -loads 250 -out $$tmp -q && \
 	test -s $$tmp && \
 	$(GO) run ./cmd/campaign -preset bursty -duration 4 -seeds 1 -loads 250 -out $$tmp -resume -q > /dev/null && \
 	$(GO) run ./cmd/campaign -preset lifetime -duration 4 -seeds 1 -loads 250 -out $$tmp.life -q > /dev/null && \
-	echo "campaign-smoke: ok ($$(wc -l < $$tmp) records, $$(wc -l < $$tmp.life) lifetime)"; \
-	rc=$$?; rm -f $$tmp $$tmp.life; exit $$rc
+	$(GO) run ./cmd/campaign -preset scale -variants n=500 -topology grid -duration 4 -seeds 1 -loads 250 -out $$tmp.scale -q > /dev/null && \
+	echo "campaign-smoke: ok ($$(wc -l < $$tmp) records, $$(wc -l < $$tmp.life) lifetime, $$(wc -l < $$tmp.scale) scale)"; \
+	rc=$$?; rm -f $$tmp $$tmp.life $$tmp.scale; exit $$rc
 
 fmt:
 	gofmt -w .

@@ -13,6 +13,7 @@
 //	campaign -preset mobility -dry-run
 //	campaign -preset bursty -loads 300 -seeds 1
 //	campaign -preset clustered -topology grid,clusters -dry-run
+//	campaign -preset scale -variants n=500,n=1000 -topology grid -dry-run
 package main
 
 import (
@@ -37,6 +38,7 @@ func main() {
 		loadsCSV = flag.String("loads", "", "preset: offered-load axis in kbps (default 200..550)")
 		traffic  = flag.String("traffic", "", "override the workload-model axis (csv of cbr|poisson|onoff|pareto|reqresp)")
 		topology = flag.String("topology", "", "override the placement axis (csv of uniform|grid|clusters|corridor)")
+		variants = flag.String("variants", "", "keep only the named variants of the campaign's variant axis (csv, e.g. n=500)")
 		battery  = flag.String("battery", "", "override the battery-capacity axis (csv of joules per node)")
 		eprofile = flag.String("energy-profile", "", "override the radio draw-profile axis (csv of wavelan|sensor)")
 		out      = flag.String("out", "results.jsonl", "JSONL results/checkpoint file (empty: none)")
@@ -70,6 +72,14 @@ func main() {
 			os.Exit(2)
 		}
 		camp.BatteriesJ = vals
+	}
+	if names := splitCSV(*variants); len(names) > 0 {
+		kept, err := filterVariants(camp.Variants, names)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		camp.Variants = kept
 	}
 
 	if *emitSpec {
@@ -171,6 +181,41 @@ func buildCampaign(spec, preset string, duration float64, seeds int, loadsCSV st
 		return runner.Campaign{}, fmt.Errorf("campaign: need -spec FILE or -preset NAME (presets: %s)",
 			strings.Join(runner.PresetNames(), ", "))
 	}
+}
+
+// filterVariants keeps the named variants, preserving campaign order
+// so the surviving run keys (and their derived seeds) match the full
+// grid's.
+func filterVariants(all []runner.Variant, names []string) ([]runner.Variant, error) {
+	if len(all) == 0 {
+		return nil, fmt.Errorf("campaign: -variants given but the campaign has no variant axis")
+	}
+	want := make(map[string]bool, len(names))
+	for _, n := range names {
+		want[n] = true
+	}
+	var kept []runner.Variant
+	for _, v := range all {
+		if want[v.Name] {
+			kept = append(kept, v)
+			delete(want, v.Name)
+		}
+	}
+	if len(want) > 0 {
+		missing := make([]string, 0, len(want))
+		for _, n := range names {
+			if want[n] {
+				missing = append(missing, n)
+			}
+		}
+		have := make([]string, 0, len(all))
+		for _, v := range all {
+			have = append(have, v.Name)
+		}
+		return nil, fmt.Errorf("campaign: unknown variants %s (have %s)",
+			strings.Join(missing, ", "), strings.Join(have, ", "))
+	}
+	return kept, nil
 }
 
 // splitCSV converts "a,b,c" to its trimmed non-empty tokens (nil when

@@ -145,6 +145,27 @@ func TestPropertyClampInside(t *testing.T) {
 	}
 }
 
+func TestRectDist2(t *testing.T) {
+	r := Rect{Min: Point{10, 20}, Max: Point{30, 40}}
+	cases := []struct {
+		p    Point
+		want float64
+	}{
+		{Point{15, 25}, 0},  // inside
+		{Point{10, 20}, 0},  // corner, inclusive
+		{Point{0, 30}, 100}, // left of the rect
+		{Point{35, 30}, 25}, // right of the rect
+		{Point{20, 44}, 16}, // above
+		{Point{6, 17}, 25},  // corner: 3-4-5 triangle
+		{Point{33, 44}, 25}, // opposite corner
+	}
+	for _, c := range cases {
+		if got := r.Dist2(c.p); got != c.want {
+			t.Errorf("Dist2(%v) = %v, want %v", c.p, got, c.want)
+		}
+	}
+}
+
 func TestStringers(t *testing.T) {
 	if s := (Point{1.25, 3.5}).String(); s != "(1.2,3.5)" && s != "(1.3,3.5)" {
 		t.Errorf("Point.String = %q", s)

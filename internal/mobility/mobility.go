@@ -181,6 +181,15 @@ func (e *Epochs) Epoch() uint64 {
 		}
 		if u := s.StationaryUntil(at); u < e.until {
 			e.until = u
+			if u <= at {
+				// A model in flight pins the bound at `at` itself — no
+				// later model can report less (StationaryUntil >= at),
+				// so stop scanning. With mostly-moving populations this
+				// makes the per-instant epoch reopen O(1) instead of
+				// O(nodes); models skipped here advance their leg state
+				// lazily on their next Pos query.
+				break
+			}
 		}
 	}
 	return e.epoch

@@ -36,8 +36,8 @@ func benchGrid(sched *sim.Scheduler, ch *Channel, n int) []*Radio {
 
 // BenchmarkChannelTransmit measures the full cost of putting one frame
 // on the air — neighbor selection, received-power evaluation and arrival
-// event scheduling — plus draining the arrival events, at the paper's
-// three interesting scales.
+// event scheduling — plus draining the arrival events, from the paper's
+// 50-node scale up to the 1000-node regime the spatial index targets.
 func BenchmarkChannelTransmit(b *testing.B) {
 	variants := []struct {
 		name  string
@@ -46,13 +46,21 @@ func BenchmarkChannelTransmit(b *testing.B) {
 		// static: positions pinned via a constant epoch — the link rows
 		// are built once and every transmit walks the cached slice.
 		{"static", func(ch *Channel) { ch.SetPositionEpoch(func() uint64 { return 0 }) }},
-		// mobile: no epoch source — the transmitter's row is rebuilt
-		// every frame (the conservative default for moving nodes).
-		{"mobile", func(ch *Channel) {}},
-		// nocache: the reference full-model walk per frame.
+		// mobile: no epoch source, but a waypoint-speed motion bound —
+		// the transmitter's row is rebuilt every frame from the spatial
+		// index's candidate cells (the scenario wiring for moving
+		// nodes).
+		{"mobile", func(ch *Channel) { ch.SetMaxSpeed(3) }},
+		// nogrid: no epoch source, no spatial index — the linear
+		// all-radios rebuild every frame (the pre-index mobile
+		// behaviour; the O(N)-vs-O(neighbors) baseline).
+		{"nogrid", func(ch *Channel) { ch.SetMaxSpeed(3); ch.SetSpatialGrid(false) }},
+		// nocache: the reference uncached walk per frame (itself served
+		// by the spatial index; SetSpatialGrid(false) would restore the
+		// full-model walk).
 		{"nocache", func(ch *Channel) { ch.SetLinkCache(false) }},
 	}
-	for _, n := range []int{10, 50, 200} {
+	for _, n := range []int{10, 50, 200, 1000} {
 		for _, v := range variants {
 			b.Run(fmt.Sprintf("radios=%d/%s", n, v.name), func(b *testing.B) {
 				sched := sim.NewScheduler()
@@ -68,6 +76,54 @@ func BenchmarkChannelTransmit(b *testing.B) {
 					sched.RunAll()
 				}
 			})
+		}
+	}
+	// Power-controlled data frames at the 1000-node scale: a
+	// power-controlling MAC sends its data at the smallest sufficient
+	// dial (here 3.45 mW, the paper's third level, reaching ~2 lattice
+	// neighbors), so neighbor selection — not arrival delivery —
+	// dominates the frame cost. One max-power frame first sizes the
+	// grid cells exactly as a real run's RTS would.
+	for _, v := range variants {
+		if v.name == "nocache" {
+			continue
+		}
+		b.Run(fmt.Sprintf("radios=1000/%s-data", v.name), func(b *testing.B) {
+			sched := sim.NewScheduler()
+			ch := NewChannel(sched, NewTwoRayGround(DefaultParams()), DefaultParams())
+			radios := benchGrid(sched, ch, 1000)
+			v.setup(ch)
+			tx := radios[0]
+			const dur = 100 * sim.Microsecond
+			tx.Transmit(0.2818, 512*8, dur, nil)
+			sched.RunAll()
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				tx.Transmit(3.45e-3, 512*8, dur, nil)
+				sched.RunAll()
+			}
+		})
+	}
+}
+
+// BenchmarkLinkRowLookup measures Radio.rowFor over the paper's ten
+// discrete power levels — the per-frame cache lookup that replaced the
+// float-keyed map (hash + bucket probe per transmit) with a sorted
+// slice scan.
+func BenchmarkLinkRowLookup(b *testing.B) {
+	sched := sim.NewScheduler()
+	ch := NewChannel(sched, NewTwoRayGround(DefaultParams()), DefaultParams())
+	r := ch.AttachRadio(0, func() geom.Point { return geom.Point{} }, benchHandler{})
+	levels := []float64{1e-3, 2e-3, 3.45e-3, 5.95e-3, 10.26e-3, 17.7e-3, 30.53e-3, 52.65e-3, 90.8e-3, 281.8e-3}
+	for _, p := range levels {
+		r.rowFor(p)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, ok := r.rowFor(levels[i%len(levels)]); !ok {
+			b.Fatal("lookup missed a cached level")
 		}
 	}
 }

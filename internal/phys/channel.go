@@ -77,7 +77,11 @@ type linkRow struct {
 // invalidated by the position epoch (SetPositionEpoch) and by radio
 // attachment; with no epoch source the channel assumes positions may
 // change at any time and rebuilds the transmitter's row per frame, which
-// preserves exact semantics at the pre-cache cost.
+// preserves exact semantics at the pre-cache cost. Row builds themselves
+// are served by a spatial cell grid over the attached radios (grid.go),
+// enumerating only the cells overlapping the delivery-cutoff disk —
+// O(neighbors) instead of O(radios) per rebuild — with cell assignments
+// kept current across bounded motion via SetMaxSpeed.
 type Channel struct {
 	sched *sim.Scheduler
 	model Propagation
@@ -103,6 +107,16 @@ type Channel struct {
 	// cacheOff disables link rows entirely (ablation/verification).
 	cacheOff bool
 
+	// grid is the spatial index over attached radios (see grid.go);
+	// gridOff disables it (ablation/verification), falling back to the
+	// linear all-radios walk. maxSpeed is the SetMaxSpeed motion bound
+	// in m/s (< 0: unknown, reassign conservatively). candIdx is the
+	// reusable candidate-enumeration buffer.
+	grid     cellGrid
+	gridOff  bool
+	maxSpeed float64
+	candIdx  []int32
+
 	// scratch is the row reused for epoch-less (assume-mobile) builds.
 	scratch linkRow
 
@@ -123,6 +137,7 @@ func NewChannel(sched *sim.Scheduler, model Propagation, par Params) *Channel {
 		model:         model,
 		par:           par,
 		deliverFloorW: par.CsThreshW,
+		maxSpeed:      -1, // unknown until SetMaxSpeed promises a bound
 	}
 	if sh, ok := model.(*Shadowing); ok {
 		c.fade = sh
@@ -158,6 +173,7 @@ func (c *Channel) AttachRadio(id int, pos func() geom.Point, h Handler) *Radio {
 	r := &Radio{
 		ch:      c,
 		id:      id,
+		idx:     len(c.radios),
 		pos:     pos,
 		h:       h,
 		current: -1,
@@ -201,11 +217,28 @@ func (c *Channel) buildRow(row *linkRow, r *Radio, powerW float64) {
 	// keeps radios at the exact boundary inside the exact pr-vs-floor
 	// check below, so pruning never changes which radios deliver.
 	row.cutoff2 = 0
+	cutoff := 0.0
 	if rg, ok := c.model.(Ranger); ok {
-		cut := rg.RangeForTxPower(powerW, c.deliverFloorW) * (1 + 1e-9)
-		row.cutoff2 = cut * cut
+		cutoff = rg.RangeForTxPower(powerW, c.deliverFloorW) * (1 + 1e-9)
+		row.cutoff2 = cutoff * cutoff
 	}
-	for _, o := range c.radios {
+	// One filter body serves both enumerations: the spatial index (when
+	// usable) restricts the walk to the cells overlapping the cutoff
+	// disk, already sorted by attach index — the linear walk's order —
+	// so entries (order and bits) are identical either way.
+	var cands []int32
+	if c.gridUsable(cutoff) {
+		cands = c.gridCandidates(src, cutoff)
+	}
+	n := len(c.radios)
+	if cands != nil {
+		n = len(cands)
+	}
+	for k := 0; k < n; k++ {
+		o := c.radios[k]
+		if cands != nil {
+			o = c.radios[cands[k]]
+		}
 		if o == r {
 			continue
 		}
@@ -235,18 +268,8 @@ func (c *Channel) linkRowFor(r *Radio, powerW float64) *linkRow {
 		return &c.scratch
 	}
 	epoch := c.posEpoch()
-	if r.rows == nil {
-		r.rows = make(map[float64]*linkRow)
-	}
-	row := r.rows[powerW]
-	if row == nil {
-		row = &linkRow{}
-		r.rows[powerW] = row
-		c.buildRow(row, r, powerW)
-		row.epoch = epoch
-		return row
-	}
-	if row.epoch != epoch || row.attachGen != c.attachGen {
+	row, cached := r.rowFor(powerW)
+	if !cached || row.epoch != epoch || row.attachGen != c.attachGen {
 		c.buildRow(row, r, powerW)
 		row.epoch = epoch
 	}
@@ -293,11 +316,30 @@ func (c *Channel) transmit(r *Radio, powerW float64, bits int, dur sim.Duration,
 }
 
 // transmitUncached is the reference delivery path: evaluate the full
-// propagation model against every radio, per frame. It must stay
+// propagation model, per frame, with no link-row cache. It must stay
 // behaviourally identical to the cached path — the link-cache soundness
-// tests diff whole simulations between the two.
+// tests diff whole simulations between the two. The spatial index
+// serves this path too: radios beyond the delivery cutoff receive
+// below the floor (the model is monotone decreasing in distance), so
+// restricting the walk to grid candidates schedules the same events;
+// SetSpatialGrid(false) restores the literal every-radio walk.
 func (c *Channel) transmitUncached(tx *Transmission) {
-	for _, o := range c.radios {
+	var cands []int32
+	if rg, ok := c.model.(Ranger); ok {
+		cutoff := rg.RangeForTxPower(tx.PowerW, c.deliverFloorW) * (1 + 1e-9)
+		if c.gridUsable(cutoff) {
+			cands = c.gridCandidates(tx.SrcPos, cutoff)
+		}
+	}
+	n := len(c.radios)
+	if cands != nil {
+		n = len(cands)
+	}
+	for k := 0; k < n; k++ {
+		o := c.radios[k]
+		if cands != nil {
+			o = c.radios[cands[k]]
+		}
 		if o == tx.From {
 			continue
 		}

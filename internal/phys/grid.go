@@ -1,0 +1,243 @@
+package phys
+
+import (
+	"math"
+	"slices"
+
+	"repro/internal/geom"
+	"repro/internal/sim"
+)
+
+// cellGrid is the channel's spatial index: a uniform grid of square
+// cells mapping cell -> attached radio indices, so link-row builds
+// enumerate only the cells overlapping a transmission's delivery-cutoff
+// disk instead of walking every radio on the channel — O(neighbors)
+// instead of O(N) per (transmitter, power level) rebuild.
+//
+// Determinism: the grid never decides *which* radios receive a frame.
+// It yields a candidate superset of the cutoff disk; the caller applies
+// the exact squared-distance and delivery-floor filters of the linear
+// walk, in candidate order sorted by radio attach index, so the
+// resulting link row — entry order, received-power bits, delays, and
+// therefore scheduler event order, RNG streams and JSONL output — is
+// byte-identical to the full walk. The grid-vs-linear soundness tests
+// (phys grid tests, scenario.TestSpatialGridSound*, runner
+// TestExecuteGridLinearIdentical) rest on this.
+//
+// Staleness: cells hold radios by their position at assignment time.
+// With a motion bound (Channel.SetMaxSpeed) the index tolerates bounded
+// drift: a radio assigned at builtAt has moved at most
+// maxSpeed*(now-builtAt) metres since, so enumerating the disk inflated
+// by that drift still covers every radio currently in range (the
+// Verlet-list "skin" technique). Cells are reassigned incrementally —
+// only radios that crossed a cell boundary move — once the drift bound
+// exceeds the skin, which at waypoint speeds amortises the O(N)
+// reassignment over many seconds of simulated time (thousands of
+// frames), leaving each row rebuild O(candidates).
+type cellGrid struct {
+	maxCutoff float64 // largest delivery cutoff seen, sizes the cells
+	cell      float64 // cell edge length in metres
+	inv       float64 // 1 / cell
+	skin      float64 // drift tolerance before cells are reassigned
+
+	// cells maps packed cell coordinates to the attach indices of the
+	// radios assigned there; keys holds each radio's current cell,
+	// indexed by Radio.idx.
+	cells map[uint64][]int32
+	keys  []uint64
+
+	builtAt   sim.Time // instant of the last (re)assignment
+	epoch     uint64   // position epoch at assignment (posEpoch != nil)
+	attachGen uint64
+	valid     bool
+}
+
+// gridCellFrac sets the cell edge as a fraction of the largest delivery
+// cutoff. Halving the cells quadruples the cell count a max-range query
+// touches (still a few dozen map probes) but tightens enumeration for
+// the short-range dials a power-controlled MAC sends most data at —
+// a 1 mW frame scans a 3x3 block of small cells instead of whole
+// max-range cells holding 4x the radios.
+const gridCellFrac = 0.5
+
+// gridSkinFrac sets the drift tolerance as a fraction of the cell edge.
+// Larger values reassign less often but enumerate a wider disk; 1/4 of
+// a cell keeps the candidate overhead small while a 3 m/s waypoint
+// network reassigns only every skin/3 ≈ 23 simulated seconds.
+const gridSkinFrac = 0.25
+
+// packCell packs signed 32-bit cell coordinates into one map key.
+func packCell(ix, iy int32) uint64 {
+	return uint64(uint32(ix))<<32 | uint64(uint32(iy))
+}
+
+// cellOf returns the packed cell key for a position.
+func (g *cellGrid) cellOf(p geom.Point) uint64 {
+	return packCell(int32(math.Floor(p.X*g.inv)), int32(math.Floor(p.Y*g.inv)))
+}
+
+// SetSpatialGrid enables or disables the channel's spatial index.
+// Disabling forces every link-row build (and the uncached reference
+// path) back to the linear all-radios walk; results are identical
+// either way (the grid soundness tests rely on this), only speed
+// differs.
+func (c *Channel) SetSpatialGrid(enabled bool) { c.gridOff = !enabled }
+
+// SetMaxSpeed promises that no attached radio's position changes faster
+// than mps metres per second of simulated time (0 = nobody ever moves).
+// The spatial index uses the bound to keep cell assignments valid
+// across bounded motion instead of reassigning at every new instant;
+// scenarios pass their waypoint SpeedMax (or 0 for pinned topologies).
+// Without the promise the index conservatively reassigns whenever
+// positions may have changed, which preserves exact semantics at O(N)
+// per rebuild epoch.
+func (c *Channel) SetMaxSpeed(mps float64) { c.maxSpeed = mps }
+
+// gridUsable reports whether the spatial index may serve candidate
+// enumeration: it needs a finite delivery cutoff (a Ranger model,
+// cutoff > 0) and no fading — a per-delivery fade draw keeps every
+// radio in the row, so there is nothing to prune (and pruning would
+// desync the fade RNG stream).
+func (c *Channel) gridUsable(cutoff float64) bool {
+	return !c.gridOff && c.fade == nil && cutoff > 0
+}
+
+// gridCandidates returns the attach indices, sorted ascending (= attach
+// order), of every radio whose current position can lie within cutoff
+// metres of src. The slice is the channel's scratch buffer, valid until
+// the next call. Callers must apply the exact cutoff/floor filters; the
+// result is a superset of the cutoff disk.
+func (c *Channel) gridCandidates(src geom.Point, cutoff float64) []int32 {
+	drift := c.ensureGrid(cutoff)
+	g := &c.grid
+	r := cutoff + drift
+	r2 := r * r
+	if c.candIdx == nil {
+		// Callers distinguish "grid unusable" (nil) from "no candidates"
+		// (empty), so the scratch buffer must never be nil.
+		c.candIdx = make([]int32, 0, 64)
+	}
+	ix0 := int32(math.Floor((src.X - r) * g.inv))
+	ix1 := int32(math.Floor((src.X + r) * g.inv))
+	iy0 := int32(math.Floor((src.Y - r) * g.inv))
+	iy1 := int32(math.Floor((src.Y + r) * g.inv))
+	c.candIdx = c.candIdx[:0]
+	for iy := iy0; iy <= iy1; iy++ {
+		for ix := ix0; ix <= ix1; ix++ {
+			radios, ok := g.cells[packCell(ix, iy)]
+			if !ok {
+				continue
+			}
+			// Corner cells may lie entirely outside the disk; one
+			// point-to-rect distance test drops them wholesale.
+			cellRect := geom.Rect{
+				Min: geom.Point{X: float64(ix) * g.cell, Y: float64(iy) * g.cell},
+				Max: geom.Point{X: float64(ix+1) * g.cell, Y: float64(iy+1) * g.cell},
+			}
+			if cellRect.Dist2(src) > r2 {
+				continue
+			}
+			c.candIdx = append(c.candIdx, radios...)
+		}
+	}
+	// Attach order is the contract: the linear walk enumerates
+	// c.radios in attach order, and scheduler event order (and with it
+	// every downstream RNG stream) follows link-row entry order.
+	slices.Sort(c.candIdx)
+	return c.candIdx
+}
+
+// ensureGrid brings the index up to date for a query needing the given
+// cutoff and returns the residual drift bound — how far any radio may
+// have strayed from its assigned cell — to inflate the enumeration
+// disk by.
+func (c *Channel) ensureGrid(cutoff float64) float64 {
+	g := &c.grid
+	now := c.sched.Now()
+	if !g.valid || g.attachGen != c.attachGen || cutoff > g.maxCutoff {
+		c.rebuildGrid(cutoff, now)
+		return 0
+	}
+	if c.posEpoch != nil && c.posEpoch() == g.epoch {
+		// Same position epoch as assignment: nothing has moved.
+		return 0
+	}
+	// Positions may have changed since assignment; bound the drift.
+	if c.maxSpeed < 0 {
+		// No motion bound: reassign on every query, the conservative
+		// pre-index semantics (positions may change at any time).
+		c.reassignGrid(now)
+		return 0
+	}
+	drift := c.maxSpeed * now.Sub(g.builtAt).Seconds()
+	if drift > g.skin {
+		c.reassignGrid(now)
+		return 0
+	}
+	return drift
+}
+
+// rebuildGrid sizes the grid for the largest cutoff seen and assigns
+// every radio from scratch. Rare: first use, radio attachment, or a
+// power level with a larger range than any before.
+func (c *Channel) rebuildGrid(cutoff float64, now sim.Time) {
+	g := &c.grid
+	if cutoff > g.maxCutoff {
+		g.maxCutoff = cutoff
+		g.cell = cutoff * gridCellFrac
+		g.inv = 1 / g.cell
+		g.skin = g.cell * gridSkinFrac
+	}
+	g.cells = make(map[uint64][]int32, len(c.radios)/4+1)
+	if cap(g.keys) < len(c.radios) {
+		g.keys = make([]uint64, len(c.radios))
+	}
+	g.keys = g.keys[:len(c.radios)]
+	for i, r := range c.radios {
+		k := g.cellOf(r.pos())
+		g.keys[i] = k
+		g.cells[k] = append(g.cells[k], int32(i))
+	}
+	g.stamp(c, now)
+	g.valid = true
+}
+
+// reassignGrid refreshes cell assignments incrementally: radios that
+// stayed inside their cell — the overwhelming majority under bounded
+// motion — are untouched.
+func (c *Channel) reassignGrid(now sim.Time) {
+	g := &c.grid
+	for i, r := range c.radios {
+		k := g.cellOf(r.pos())
+		if k == g.keys[i] {
+			continue
+		}
+		g.removeFromCell(g.keys[i], int32(i))
+		g.cells[k] = append(g.cells[k], int32(i))
+		g.keys[i] = k
+	}
+	g.stamp(c, now)
+}
+
+// removeFromCell drops one radio index from a cell's slice. Order
+// within a cell is irrelevant (candidates are sorted by attach index
+// after collection), so swap-remove keeps it O(cell size).
+func (g *cellGrid) removeFromCell(key uint64, idx int32) {
+	s := g.cells[key]
+	for i, v := range s {
+		if v == idx {
+			s[i] = s[len(s)-1]
+			g.cells[key] = s[:len(s)-1]
+			return
+		}
+	}
+}
+
+// stamp records the assignment instant and position epoch.
+func (g *cellGrid) stamp(c *Channel, now sim.Time) {
+	g.builtAt = now
+	g.attachGen = c.attachGen
+	if c.posEpoch != nil {
+		g.epoch = c.posEpoch()
+	}
+}

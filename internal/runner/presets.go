@@ -2,6 +2,7 @@ package runner
 
 import (
 	"fmt"
+	"math"
 	"sort"
 
 	"repro/internal/mac"
@@ -101,6 +102,28 @@ var presets = map[string]presetFunc{
 			Reps:       reps,
 		}
 	},
+	// scale pushes the substrate into the 200-2000 node regime the
+	// spatial neighbor index exists for. Each variant grows the field
+	// with the terminal count so the paper's density (one node per
+	// 20000 m^2) — and therefore the per-node neighborhood — stays
+	// fixed, and scales the flow count at the paper's 1:5 ratio.
+	// Placements come from the grid/clusters generators (pinned, so
+	// huge runs skip waypoint bookkeeping) under memoryless poisson
+	// traffic. Schemes: 802.11 against scheme 2 (all-frames minimum
+	// power) — PCMAC's Figure 7 control frame addresses 8-bit node IDs,
+	// so the paper's headline protocol tops out at 256 terminals.
+	"scale": func(d float64, reps int, loads []float64) Campaign {
+		return Campaign{
+			Name:       "scale",
+			Base:       evalBase(d),
+			Schemes:    []mac.Scheme{mac.Basic, mac.Scheme2},
+			Variants:   scaleVariants(),
+			Topologies: []string{scenario.TopologyGrid, scenario.TopologyClusters},
+			Traffics:   []string{"poisson"},
+			LoadsKbps:  loads,
+			Reps:       reps,
+		}
+	},
 	// lifetime gives every node a battery and compares how long the
 	// network lives under plain 802.11 versus the power-controlled MAC:
 	// time-to-first-death, the alive-node curve, and the consumed-energy
@@ -134,6 +157,30 @@ var presets = map[string]presetFunc{
 	"ablation-threeway": ablationPreset("threeway"),
 	"ablation-expiry":   ablationPreset("expiry"),
 	"ablation-ctrlbw":   ablationPreset("ctrlbw"),
+}
+
+// scaleVariants builds the scale preset's node-count axis as variants
+// rather than a Nodes sweep: each step must also patch the field
+// dimensions (constant density) and the flow count (constant 1:5
+// flows-to-nodes ratio), which a bare terminal-count axis cannot
+// express.
+func scaleVariants() []Variant {
+	var vs []Variant
+	for _, n := range []int{200, 500, 1000, 2000} {
+		// Field edge for the paper's density: 1000 m * sqrt(n/50),
+		// rounded to whole metres to keep spec files tidy.
+		edge := math.Round(1000 * math.Sqrt(float64(n)/50))
+		vs = append(vs, Variant{
+			Name: fmt.Sprintf("n=%d", n),
+			Patch: scenario.FileConfig{
+				Nodes:  n,
+				FieldW: edge,
+				FieldH: edge,
+				Flows:  n / 5,
+			},
+		})
+	}
+	return vs
 }
 
 // ablationPreset adapts an ablation grid to the preset signature. The

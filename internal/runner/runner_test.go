@@ -665,6 +665,105 @@ func TestExecuteRepeatDeterministic(t *testing.T) {
 	}
 }
 
+// TestExecuteGridLinearIdentical is the end-to-end proof the spatial
+// neighbor index is invisible: the same campaign executed with the grid
+// on and off must emit byte-identical JSONL — every delivery, RNG
+// stream and rounding decision unchanged. The mobile case drives the
+// skin-bounded incremental cell reassignment; the fading case pins the
+// linear fallback (no delivery cutoff under per-frame fades).
+func TestExecuteGridLinearIdentical(t *testing.T) {
+	base := scenario.Options{
+		Duration: 2 * sim.Second,
+		Warmup:   sim.Duration(sim.Second / 2),
+		SpeedMin: 20, // fast motion: the drift bound works for a living
+		SpeedMax: 20,
+	}
+	cases := []struct {
+		name string
+		c    Campaign
+	}{
+		{
+			name: "mobile",
+			c: Campaign{
+				Name:      "grid-mobile",
+				Base:      withNodes(base, 40),
+				Schemes:   []mac.Scheme{mac.Basic, mac.PCMAC},
+				LoadsKbps: []float64{300},
+				Reps:      1,
+			},
+		},
+		{
+			name: "fading",
+			c: Campaign{
+				Name:        "grid-fading",
+				Base:        withNodes(base, 30),
+				Schemes:     []mac.Scheme{mac.PCMAC},
+				LoadsKbps:   []float64{300},
+				ShadowingDB: []float64{4},
+				Reps:        1,
+			},
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var gridded bytes.Buffer
+			if _, err := Execute(tc.c, ExecOptions{Workers: 2, Out: &gridded}); err != nil {
+				t.Fatal(err)
+			}
+			if gridded.Len() == 0 {
+				t.Fatal("campaign emitted nothing")
+			}
+			linearCamp := tc.c
+			linearCamp.Base.DisableSpatialGrid = true
+			var linear bytes.Buffer
+			if _, err := Execute(linearCamp, ExecOptions{Workers: 2, Out: &linear}); err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(gridded.Bytes(), linear.Bytes()) {
+				t.Fatalf("grid JSONL differs from linear walk:\n--- grid ---\n%s--- linear ---\n%s",
+					gridded.String(), linear.String())
+			}
+		})
+	}
+}
+
+// TestScalePresetShape pins the scale preset's constant-density
+// contract: every node-count variant grows the field as sqrt(n/50) and
+// keeps flows at the paper's 1:5 ratio, and no grid point smuggles
+// PCMAC past its 8-bit control-frame ID space.
+func TestScalePresetShape(t *testing.T) {
+	c, err := Preset("scale", 5, 1, []float64{250})
+	if err != nil {
+		t.Fatal(err)
+	}
+	runs, err := c.Runs()
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantField := map[int]float64{200: 2000, 500: 3162, 1000: 4472, 2000: 6325}
+	seen := map[int]bool{}
+	for _, r := range runs {
+		o := r.Opts
+		f, ok := wantField[o.Nodes]
+		if !ok {
+			t.Fatalf("run %s: unexpected node count %d", r.Key, o.Nodes)
+		}
+		seen[o.Nodes] = true
+		if o.FieldW != f || o.FieldH != f {
+			t.Errorf("run %s: field %gx%g, want %gx%g (constant density)", r.Key, o.FieldW, o.FieldH, f, f)
+		}
+		if o.Flows != o.Nodes/5 {
+			t.Errorf("run %s: %d flows for %d nodes, want 1:5", r.Key, o.Flows, o.Nodes)
+		}
+		if o.Scheme == mac.PCMAC {
+			t.Errorf("run %s: pcmac cannot address %d nodes (8-bit control frame ID)", r.Key, o.Nodes)
+		}
+	}
+	if len(seen) != len(wantField) {
+		t.Fatalf("preset covered sizes %v, want all of %v", seen, wantField)
+	}
+}
+
 // TestEnergyAxes covers the two descriptor-driven energy axes: key
 // segments appear only when swept (so historical checkpoints keep
 // resolving), in the fixed bat=/ep= position, and the values land in

@@ -160,6 +160,14 @@ func validate(o Options) error {
 			return fmt.Errorf("scenario: %d flows exceed the %d ordered pairs of %d nodes", d.Flows, maxPairs, d.Nodes)
 		}
 	}
+	// PCMAC's Figure 7 control frame addresses nodes in an 8-bit field;
+	// reject oversized populations at spec time instead of failing on
+	// node 256 deep inside Build.
+	if o.Scheme == mac.PCMAC && !o.DisableCtrlChannel {
+		if d := o.withDefaults(); d.Nodes > 256 {
+			return fmt.Errorf("scenario: pcmac control frames address 8-bit node IDs; %d nodes need disable_ctrl_channel or <= 256", d.Nodes)
+		}
+	}
 	for _, fp := range o.FlowPairs {
 		if fp[0] == fp[1] {
 			return fmt.Errorf("scenario: self-flow %v", fp[0])

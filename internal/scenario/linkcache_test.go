@@ -97,6 +97,61 @@ func TestLinkCacheSoundShadowing(t *testing.T) {
 	equalResults(t, "shadowing", cached, uncached)
 }
 
+// gridVsLinear diffs a whole simulation between the spatial-index path
+// and the linear-walk path (grid disabled): the index must be invisible
+// in every metric.
+func gridVsLinear(t *testing.T, name string, o Options) {
+	t.Helper()
+	gridded, err := Run(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	o.DisableSpatialGrid = true
+	linear, err := Run(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gridded.Events == 0 {
+		t.Fatalf("%s: empty run proves nothing", name)
+	}
+	equalResults(t, name, gridded, linear)
+}
+
+// TestSpatialGridSoundMobile is the grid's invalidation-soundness
+// proof: a fast-moving waypoint run — cell assignments drifting through
+// the Verlet skin and reassigning repeatedly — must be bit-identical to
+// the linear all-radios walk. A stale cell the drift bound failed to
+// cover shows up as a missed delivery and fails the comparison.
+func TestSpatialGridSoundMobile(t *testing.T) {
+	gridVsLinear(t, "grid-mobile", linkCacheOpts(0))
+}
+
+// TestSpatialGridSoundStatic covers pinned placements: cells are
+// assigned once (motion bound 0) and candidate enumeration serves every
+// rebuild.
+func TestSpatialGridSoundStatic(t *testing.T) {
+	o := linkCacheOpts(0)
+	o.Topology = TopologyClusters // pinned hotspot placement, dense cells
+	gridVsLinear(t, "grid-static", o)
+}
+
+// TestSpatialGridSoundFading pins the fading fallback: log-normal
+// shadowing removes the delivery cutoff (every radio stays in the row,
+// one fade draw each), so the grid must step aside without perturbing
+// the fade RNG stream.
+func TestSpatialGridSoundFading(t *testing.T) {
+	gridVsLinear(t, "grid-fading", linkCacheOpts(4.0))
+}
+
+// TestSpatialGridSoundUncached crosses the knobs: with the link cache
+// disabled the uncached reference walk is itself served by the grid,
+// and must still match the grid-less uncached walk.
+func TestSpatialGridSoundUncached(t *testing.T) {
+	o := linkCacheOpts(0)
+	o.DisableLinkCache = true
+	gridVsLinear(t, "grid-uncached", o)
+}
+
 // TestLinkCacheSoundStatic covers the other extreme: a static topology
 // whose rows are built exactly once and reused for the whole run.
 func TestLinkCacheSoundStatic(t *testing.T) {

@@ -114,6 +114,11 @@ type Options struct {
 	// the per-frame full propagation walk. Results are identical either
 	// way; the knob exists for cache-soundness tests and perf A/Bs.
 	DisableLinkCache bool
+	// DisableSpatialGrid turns off the channels' spatial neighbor
+	// index, forcing link-row builds back to the linear all-radios
+	// walk. Results are identical either way (the grid soundness tests
+	// diff whole runs); the knob exists for those tests and perf A/Bs.
+	DisableSpatialGrid bool
 	// EnergyProfile names the radio's electrical draw table
 	// (energy.Profiles; "" is the WaveLAN-like default). The accountant
 	// it feeds is a pure observer: it never perturbs RNG streams or
@@ -443,12 +448,23 @@ func Build(o Options) (*Network, error) {
 
 	// Let the channels cache link tables between position changes. One
 	// epoch counter serves both channels: they share the same node set
-	// and therefore the same geometry.
+	// and therefore the same geometry. The motion bound (waypoint
+	// SpeedMax, or 0 for pinned placements) lets the spatial index keep
+	// cell assignments across bounded drift instead of reassigning at
+	// every new position epoch.
+	maxSpeed := o.SpeedMax
+	if len(o.Static) > 0 {
+		maxSpeed = 0
+	}
 	dataCh.SetPositionEpoch(epochs.Epoch)
 	dataCh.SetLinkCache(!o.DisableLinkCache)
+	dataCh.SetSpatialGrid(!o.DisableSpatialGrid)
+	dataCh.SetMaxSpeed(maxSpeed)
 	if ctrlCh != nil {
 		ctrlCh.SetPositionEpoch(epochs.Epoch)
 		ctrlCh.SetLinkCache(!o.DisableLinkCache)
+		ctrlCh.SetSpatialGrid(!o.DisableSpatialGrid)
+		ctrlCh.SetMaxSpeed(maxSpeed)
 	}
 
 	// Flows.
