@@ -8,7 +8,7 @@ GO ?= go
 MICRO_BENCH = BenchmarkSchedulerChurn|BenchmarkTimerChurn|BenchmarkSchedulerFanOut|BenchmarkChannelTransmit|BenchmarkLinkRowLookup|BenchmarkRadioArrivals|BenchmarkEnergyAccounting
 BENCH_DATE ?= $(shell date +%Y-%m-%d)
 
-.PHONY: all build test bench bench-micro bench-json lint lint-golangci campaign-smoke fmt
+.PHONY: all build test bench bench-micro bench-json lint lint-golangci campaign-smoke daemon-smoke fmt
 
 all: lint build test
 
@@ -63,6 +63,31 @@ campaign-smoke:
 	$(GO) run ./cmd/campaign -preset scale -variants n=500 -topology grid -duration 4 -seeds 1 -loads 250 -out $$tmp.scale -q > /dev/null && \
 	echo "campaign-smoke: ok ($$(wc -l < $$tmp) records, $$(wc -l < $$tmp.life) lifetime, $$(wc -l < $$tmp.scale) scale)"; \
 	rc=$$?; rm -f $$tmp $$tmp.life $$tmp.scale; exit $$rc
+
+# daemon-smoke mirrors CI's campaign-daemon step: boot campaignd on a
+# fresh state dir, submit the bursty preset's spec over HTTP, wait for
+# completion, and require the served JSONL to be byte-identical to
+# cmd/campaign's output for the same spec.
+daemon-smoke:
+	@set -e; \
+	tmp=$$(mktemp -d); pid=""; \
+	trap 'test -n "$$pid" && kill $$pid 2>/dev/null; rm -rf $$tmp' EXIT; \
+	$(GO) run ./cmd/campaign -preset bursty -duration 4 -seeds 1 -loads 250 -emit-spec > $$tmp/spec.json; \
+	$(GO) run ./cmd/campaign -spec $$tmp/spec.json -out $$tmp/cli.jsonl -q > /dev/null; \
+	$(GO) build -o $$tmp/campaignd ./cmd/campaignd; \
+	$$tmp/campaignd -addr 127.0.0.1:8941 -dir $$tmp/state 2> /dev/null & pid=$$!; \
+	for i in $$(seq 100); do curl -sf http://127.0.0.1:8941/healthz > /dev/null && break; sleep 0.1; done; \
+	id=$$(curl -sf -d @$$tmp/spec.json http://127.0.0.1:8941/campaigns | sed 's/.*"id":"\([^"]*\)".*/\1/'); \
+	test -n "$$id"; \
+	state=""; \
+	for i in $$(seq 600); do \
+	  state=$$(curl -sf http://127.0.0.1:8941/campaigns/$$id | sed 's/.*"state":"\([^"]*\)".*/\1/'); \
+	  test "$$state" = done && break; sleep 0.1; \
+	done; \
+	test "$$state" = done; \
+	curl -sf http://127.0.0.1:8941/campaigns/$$id/results.jsonl > $$tmp/served.jsonl; \
+	cmp $$tmp/cli.jsonl $$tmp/served.jsonl; \
+	echo "daemon-smoke: ok ($$(wc -l < $$tmp/served.jsonl) records served byte-identical)"
 
 fmt:
 	gofmt -w .

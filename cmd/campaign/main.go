@@ -3,7 +3,13 @@
 // worker pool, streaming per-run JSONL results and printing an
 // aggregate table. Campaigns come from JSON spec files or built-in
 // presets; the JSONL output doubles as a checkpoint, so an interrupted
-// campaign resumes where it stopped.
+// campaign resumes where it stopped. Ctrl-C is a clean cancel: the
+// checkpoint stays a valid campaign-order prefix for -resume.
+//
+// The heavy lifting lives in internal/serve (shared with the
+// cmd/campaignd daemon) and internal/cli (the flag group shared with
+// it), so a served results.jsonl and this command's -out file are
+// byte-identical for the same spec.
 //
 //	campaign -preset fig8 -duration 100 -seeds 3 -out fig8.jsonl
 //	campaign -preset fig8 -emit-spec > fig8.json   # edit, then:
@@ -17,30 +23,26 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
-	"strconv"
-	"strings"
+	"os/signal"
+	"syscall"
 
+	"repro/internal/cli"
 	"repro/internal/runner"
+	"repro/internal/serve"
 )
 
 func main() {
+	var cf cli.CampaignFlags
+	cf.Register(flag.CommandLine)
 	var (
-		spec     = flag.String("spec", "", "campaign spec JSON file")
-		preset   = flag.String("preset", "", "built-in campaign: "+strings.Join(runner.PresetNames(), "|"))
 		emitSpec = flag.Bool("emit-spec", false, "print the campaign as a JSON spec and exit")
 		dryRun   = flag.Bool("dry-run", false, "list the expanded runs without executing")
-		duration = flag.Float64("duration", 100, "preset: simulated seconds per run (paper: 400)")
-		seeds    = flag.Int("seeds", 3, "preset: replications per grid point")
-		loadsCSV = flag.String("loads", "", "preset: offered-load axis in kbps (default 200..550)")
-		traffic  = flag.String("traffic", "", "override the workload-model axis (csv of cbr|poisson|onoff|pareto|reqresp)")
-		topology = flag.String("topology", "", "override the placement axis (csv of uniform|grid|clusters|corridor)")
-		variants = flag.String("variants", "", "keep only the named variants of the campaign's variant axis (csv, e.g. n=500)")
-		battery  = flag.String("battery", "", "override the battery-capacity axis (csv of joules per node)")
-		eprofile = flag.String("energy-profile", "", "override the radio draw-profile axis (csv of wavelan|sensor)")
 		out      = flag.String("out", "results.jsonl", "JSONL results/checkpoint file (empty: none)")
 		resume   = flag.Bool("resume", false, "skip runs already present in -out, append the rest")
 		workers  = flag.Int("workers", 0, "worker pool size (0 = GOMAXPROCS)")
@@ -49,37 +51,10 @@ func main() {
 	)
 	flag.Parse()
 
-	camp, err := buildCampaign(*spec, *preset, *duration, *seeds, *loadsCSV)
+	camp, err := cf.Build()
 	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
+		fmt.Fprintf(os.Stderr, "campaign: %v\n", err)
 		os.Exit(2)
-	}
-	// The workload axes override whatever the spec or preset chose, so
-	// any campaign can be re-shaped from the command line.
-	if vals := splitCSV(*traffic); len(vals) > 0 {
-		camp.Traffics = vals
-	}
-	if vals := splitCSV(*topology); len(vals) > 0 {
-		camp.Topologies = vals
-	}
-	if vals := splitCSV(*eprofile); len(vals) > 0 {
-		camp.EnergyProfiles = vals
-	}
-	if *battery != "" {
-		vals, err := parseLoads(*battery)
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "campaign: bad -battery %q\n", *battery)
-			os.Exit(2)
-		}
-		camp.BatteriesJ = vals
-	}
-	if names := splitCSV(*variants); len(names) > 0 {
-		kept, err := filterVariants(camp.Variants, names)
-		if err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(2)
-		}
-		camp.Variants = kept
 	}
 
 	if *emitSpec {
@@ -105,47 +80,34 @@ func main() {
 		return
 	}
 
-	opts := runner.ExecOptions{Workers: *workers}
-	if *resume && *out != "" {
-		// Drop any record a crash cut off mid-write before appending.
-		if err := runner.RepairCheckpoint(*out); err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
-		}
-		completed, err := runner.LoadCheckpoint(*out)
-		if err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
-		}
-		opts.Completed = completed
-	}
-	if *out != "" {
-		mode := os.O_CREATE | os.O_WRONLY
-		if *resume {
-			mode |= os.O_APPEND
-		} else {
-			mode |= os.O_TRUNC
-		}
-		f, err := os.OpenFile(*out, mode, 0o644)
-		if err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
-		}
-		defer f.Close()
-		opts.Out = f
-	}
+	// Ctrl-C / SIGTERM cancels the context; Execute stops dispatching,
+	// in-flight runs finish, the checkpoint stays resumable.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	agg := runner.NewAggregate()
+	progress := runner.Progress(nil)
 	if !*quiet {
-		opts.Progress = func(done, total int) {
-			fmt.Fprintf(os.Stderr, "\r%d/%d runs", done, total)
-			if done == total {
+		progress = runner.ProgressFunc(func(ev runner.RunEvent) {
+			fmt.Fprintf(os.Stderr, "\r%d/%d runs", ev.Done, ev.Total)
+			if ev.Done == ev.Total {
 				fmt.Fprintln(os.Stderr)
 			}
-		}
+		})
 	}
-	agg := runner.NewAggregate()
-	opts.OnResult = agg.Add
-
-	sum, err := runner.Execute(camp, opts)
+	sum, err := serve.RunCampaign(ctx, camp, *out, *resume, runner.ExecOptions{
+		Workers:  *workers,
+		Progress: runner.MultiProgress(agg, progress),
+	})
+	if errors.Is(err, context.Canceled) {
+		fmt.Fprintln(os.Stderr)
+		if *out != "" {
+			fmt.Fprintf(os.Stderr, "campaign: interrupted — checkpoint at %s; rerun with -resume to continue\n", *out)
+		} else {
+			fmt.Fprintln(os.Stderr, "campaign: interrupted")
+		}
+		os.Exit(130)
+	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
@@ -162,87 +124,4 @@ func main() {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
-}
-
-// buildCampaign resolves the -spec/-preset flags into a Campaign.
-func buildCampaign(spec, preset string, duration float64, seeds int, loadsCSV string) (runner.Campaign, error) {
-	switch {
-	case spec != "" && preset != "":
-		return runner.Campaign{}, fmt.Errorf("campaign: -spec and -preset are mutually exclusive")
-	case spec != "":
-		return runner.LoadCampaign(spec)
-	case preset != "":
-		loads, err := parseLoads(loadsCSV)
-		if err != nil {
-			return runner.Campaign{}, err
-		}
-		return runner.Preset(preset, duration, seeds, loads)
-	default:
-		return runner.Campaign{}, fmt.Errorf("campaign: need -spec FILE or -preset NAME (presets: %s)",
-			strings.Join(runner.PresetNames(), ", "))
-	}
-}
-
-// filterVariants keeps the named variants, preserving campaign order
-// so the surviving run keys (and their derived seeds) match the full
-// grid's.
-func filterVariants(all []runner.Variant, names []string) ([]runner.Variant, error) {
-	if len(all) == 0 {
-		return nil, fmt.Errorf("campaign: -variants given but the campaign has no variant axis")
-	}
-	want := make(map[string]bool, len(names))
-	for _, n := range names {
-		want[n] = true
-	}
-	var kept []runner.Variant
-	for _, v := range all {
-		if want[v.Name] {
-			kept = append(kept, v)
-			delete(want, v.Name)
-		}
-	}
-	if len(want) > 0 {
-		missing := make([]string, 0, len(want))
-		for _, n := range names {
-			if want[n] {
-				missing = append(missing, n)
-			}
-		}
-		have := make([]string, 0, len(all))
-		for _, v := range all {
-			have = append(have, v.Name)
-		}
-		return nil, fmt.Errorf("campaign: unknown variants %s (have %s)",
-			strings.Join(missing, ", "), strings.Join(have, ", "))
-	}
-	return kept, nil
-}
-
-// splitCSV converts "a,b,c" to its trimmed non-empty tokens (nil when
-// empty).
-func splitCSV(csv string) []string {
-	var out []string
-	for _, tok := range strings.Split(csv, ",") {
-		if t := strings.TrimSpace(tok); t != "" {
-			out = append(out, t)
-		}
-	}
-	return out
-}
-
-// parseLoads converts "200,300,400" to the load axis (nil when empty,
-// letting the preset default apply).
-func parseLoads(csv string) ([]float64, error) {
-	if strings.TrimSpace(csv) == "" {
-		return nil, nil
-	}
-	var loads []float64
-	for _, tok := range strings.Split(csv, ",") {
-		v, err := strconv.ParseFloat(strings.TrimSpace(tok), 64)
-		if err != nil {
-			return nil, fmt.Errorf("campaign: bad load %q", tok)
-		}
-		loads = append(loads, v)
-	}
-	return loads, nil
 }

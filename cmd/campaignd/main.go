@@ -1,0 +1,95 @@
+// Command campaignd is the campaign daemon: a long-lived HTTP service
+// that accepts campaign specs, shards their deterministic run lists
+// across a worker pool, checkpoints per-campaign JSONL results under a
+// state directory, and streams live progress over server-sent events.
+// Kill it mid-campaign and restart with the same -dir: every persisted
+// campaign resumes from its checkpoint and converges to a results.jsonl
+// byte-identical to an uninterrupted run (and to cmd/campaign's output
+// for the same spec).
+//
+//	campaignd -addr :8080 -dir campaignd-state
+//	campaignd -dir state -preset bursty -loads 300 -seeds 1   # submit at boot
+//
+//	curl -s localhost:8080/campaigns -d @fig8.json            # submit
+//	curl -s localhost:8080/campaigns/<id>                     # status
+//	curl -N  localhost:8080/campaigns/<id>/events             # SSE stream
+//	curl -s  localhost:8080/campaigns/<id>/results.jsonl      # checkpoint
+//
+// See docs/api.md for the full endpoint and event reference.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/cli"
+	"repro/internal/serve"
+)
+
+func main() {
+	var cf cli.CampaignFlags
+	cf.Register(flag.CommandLine)
+	var (
+		addr    = flag.String("addr", ":8080", "HTTP listen address")
+		dir     = flag.String("dir", "campaignd-state", "state directory (specs + JSONL checkpoints)")
+		workers = flag.Int("workers", 0, "per-campaign shard count (0 = GOMAXPROCS)")
+	)
+	flag.Parse()
+
+	svc, err := serve.NewService(*dir, *workers)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "campaignd: %v\n", err)
+		os.Exit(1)
+	}
+	// The campaign flag group is optional here: when given, the daemon
+	// submits that campaign at boot (idempotent, so restarting with the
+	// same flags reattaches rather than duplicating).
+	if cf.Given() {
+		camp, err := cf.Build()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "campaignd: %v\n", err)
+			os.Exit(2)
+		}
+		c, created, err := svc.Submit(camp.File())
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "campaignd: %v\n", err)
+			os.Exit(2)
+		}
+		verb := "resumed"
+		if created {
+			verb = "submitted"
+		}
+		fmt.Fprintf(os.Stderr, "campaignd: %s campaign %s (%s)\n", verb, c.ID(), c.Spec().Name)
+	}
+
+	srv := &http.Server{Addr: *addr, Handler: serve.NewServer(svc)}
+	errc := make(chan error, 1)
+	go func() { errc <- srv.ListenAndServe() }()
+	fmt.Fprintf(os.Stderr, "campaignd: listening on %s (state in %s)\n", *addr, *dir)
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	select {
+	case <-ctx.Done():
+		// Graceful shutdown: stop accepting requests, then cancel the
+		// campaigns and wait for in-flight runs so every checkpoint is
+		// left a valid resumable prefix.
+		fmt.Fprintln(os.Stderr, "campaignd: shutting down")
+		shctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		_ = srv.Shutdown(shctx)
+		svc.Close()
+	case err := <-errc:
+		if !errors.Is(err, http.ErrServerClosed) {
+			fmt.Fprintf(os.Stderr, "campaignd: %v\n", err)
+			os.Exit(1)
+		}
+	}
+}

@@ -3,6 +3,12 @@
 // load versus average end-to-end delay curves of Figure 9, each for the
 // four MAC protocols, plus the ablation sweeps described in DESIGN.md.
 //
+// Deprecated: every sweep here is a cmd/campaign preset (fig8, fig9,
+// ablation-safety, ablation-ctrl, ablation-threeway, ablation-expiry,
+// ablation-ctrlbw) with JSONL checkpointing, resume and the full axis
+// override surface on top. This binary remains as a thin compatibility
+// wrapper and will be removed.
+//
 //	sweep -fig 8                 # throughput table (Figure 8)
 //	sweep -fig 9                 # delay table (Figure 9)
 //	sweep -fig all -duration 200 -seeds 5
@@ -11,6 +17,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -25,6 +32,7 @@ import (
 )
 
 func main() {
+	fmt.Fprintln(os.Stderr, "sweep: deprecated — use `campaign -preset fig8|fig9|ablation-*` (JSONL checkpoints, resume, axis overrides)")
 	var (
 		fig      = flag.String("fig", "all", "which figure to regenerate: 8|9|all")
 		ablation = flag.String("ablation", "", "ablation sweep: safety|ctrl|threeway|expiry|ctrlbw")
@@ -111,9 +119,10 @@ func runAblation(kind string, base scenario.Options, loads []float64, seeds []in
 		os.Exit(2)
 	}
 	agg := runner.NewAggregate()
-	if _, err := runner.Execute(camp, runner.ExecOptions{
-		Progress: progress,
-		OnResult: agg.Add,
+	if _, err := runner.Execute(context.Background(), camp, runner.ExecOptions{
+		Progress: runner.MultiProgress(agg, runner.ProgressFunc(func(ev runner.RunEvent) {
+			progress(ev.Done, ev.Total)
+		})),
 	}); err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)

@@ -6,6 +6,7 @@
 package experiment
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"sort"
@@ -86,20 +87,23 @@ func Run(cfg Config) (*Sweep, error) {
 		LoadsKbps: cfg.Loads,
 		SeedList:  cfg.Seeds,
 	}
-	_, err := runner.Execute(camp, runner.ExecOptions{
-		Workers:  cfg.Parallelism,
-		Progress: cfg.Progress,
-		OnResult: func(run runner.Run, r runner.Result) {
+	_, err := runner.Execute(context.Background(), camp, runner.ExecOptions{
+		Workers: cfg.Parallelism,
+		Progress: runner.ProgressFunc(func(ev runner.RunEvent) {
 			// Axis values pass through the runner unchanged, so they
 			// index the cell map exactly.
-			c := sweep.Cells[cellKey{run.Opts.OfferedLoadKbps, run.Opts.Scheme}]
+			c := sweep.Cells[cellKey{ev.Run.Opts.OfferedLoadKbps, ev.Run.Opts.Scheme}]
+			r := ev.Result
 			c.Throughput.Append(r.ThroughputKbps)
 			c.DelayMs.Append(r.AvgDelayMs)
 			c.PDR.Append(r.PDR)
 			c.RadiatedJ.Append(r.RadiatedEnergyJ + r.CtrlRadiatedEnergyJ)
 			c.ConsumedJ.Append(r.ConsumedEnergyJ)
 			c.Fairness.Append(r.JainFairness)
-		},
+			if cfg.Progress != nil {
+				cfg.Progress(ev.Done, ev.Total)
+			}
+		}),
 	})
 	if err != nil {
 		return nil, err

@@ -35,7 +35,7 @@ type Point struct {
 
 // Aggregate folds campaign results into per-grid-point series, in
 // campaign order. It is not goroutine-safe; feed it from
-// ExecOptions.OnResult, which already serializes emission.
+// ExecOptions.Progress, which already serializes emission.
 type Aggregate struct {
 	order  []string
 	points map[string]*Point
@@ -45,6 +45,10 @@ type Aggregate struct {
 func NewAggregate() *Aggregate {
 	return &Aggregate{points: make(map[string]*Point)}
 }
+
+// RunDone implements Progress, so an Aggregate can be wired straight
+// into ExecOptions.Progress (alone or via MultiProgress).
+func (a *Aggregate) RunDone(ev RunEvent) { a.Add(ev.Run, ev.Result) }
 
 // Add folds one result in.
 func (a *Aggregate) Add(run Run, r Result) {

@@ -1,14 +1,19 @@
-// Campaign execution: a GOMAXPROCS-sized worker pool over the expanded
-// run list, with results re-sequenced into deterministic campaign order
-// before emission so the JSONL stream is byte-identical for any worker
-// count.
+// Campaign execution: a worker pool over the expanded run list —
+// dynamic pull from a shared queue, or a static run-key partition
+// (ShardByKey) — with results re-sequenced into deterministic campaign
+// order before emission, so the JSONL stream is byte-identical for any
+// worker count and either assignment strategy. Execution is
+// context-cancellable; whatever was emitted before the cancel is a
+// valid campaign-order checkpoint prefix.
 package runner
 
 import (
 	"bufio"
 	"bytes"
+	"context"
 	"encoding/json"
 	"fmt"
+	"hash/fnv"
 	"io"
 	"math"
 	"os"
@@ -226,23 +231,87 @@ func ResumeSet(results []Result) map[string]Result {
 	return m
 }
 
+// RunEvent is one emission of campaign execution: a run, its result,
+// and the position in the campaign. Events are delivered in the
+// campaign's deterministic run order from a single goroutine, so
+// consumers (aggregators, progress bars, SSE streams) never see
+// worker-count-dependent interleavings.
+type RunEvent struct {
+	// Run is the emitted run; Result its record.
+	Run    Run
+	Result Result
+	// Resumed marks results satisfied from the checkpoint rather than
+	// executed now (they are reported but not re-written to Out).
+	Resumed bool
+	// Done counts runs emitted so far, including this one; Total is the
+	// campaign's run count.
+	Done, Total int
+}
+
+// Progress receives execution events in campaign order. It replaces the
+// old pair of ad-hoc callbacks (Progress func(done, total) and OnResult
+// func(run, result)): one structured event carries the run, the result,
+// whether it was resumed, and the campaign position, so a single value
+// can drive a progress bar, an aggregate and a live stream at once.
+type Progress interface {
+	RunDone(ev RunEvent)
+}
+
+// ProgressFunc adapts a function to the Progress interface.
+type ProgressFunc func(ev RunEvent)
+
+// RunDone implements Progress.
+func (f ProgressFunc) RunDone(ev RunEvent) { f(ev) }
+
+// MultiProgress fans one event stream out to several consumers in
+// order (nil entries are skipped).
+func MultiProgress(ps ...Progress) Progress {
+	return ProgressFunc(func(ev RunEvent) {
+		for _, p := range ps {
+			if p != nil {
+				p.RunDone(ev)
+			}
+		}
+	})
+}
+
+// ShardOf maps a run key to a shard index in [0, shards): FNV-1a over
+// the key, reduced mod shards. The partition is a pure function of the
+// key, so a campaign divided across any pool — local goroutines or
+// remote machines — assigns every run to the same shard, and each
+// shard's work list (and therefore its output segment) is deterministic
+// in isolation.
+func ShardOf(key string, shards int) int {
+	if shards <= 1 {
+		return 0
+	}
+	h := fnv.New32a()
+	h.Write([]byte(key))
+	return int(h.Sum32() % uint32(shards))
+}
+
 // ExecOptions configures Execute.
 type ExecOptions struct {
-	// Workers bounds concurrent simulations (default GOMAXPROCS).
+	// Workers bounds concurrent simulations (default GOMAXPROCS). With
+	// ShardByKey it is also the shard count.
 	Workers int
 	// Out, if non-nil, receives executed results as JSONL in campaign
 	// order (resumed results are not re-written).
 	Out io.Writer
 	// Completed holds checkpointed results by run key; matching runs are
-	// skipped but still reported through OnResult so aggregates include
+	// skipped but still reported through Progress so aggregates include
 	// them.
 	Completed map[string]Result
-	// Progress, if non-nil, is called after each run is emitted
-	// (including resumed runs), in campaign order.
-	Progress func(done, total int)
-	// OnResult, if non-nil, receives every result in campaign order,
-	// from a single goroutine.
-	OnResult func(run Run, r Result)
+	// Progress, if non-nil, receives every emitted run (including
+	// resumed ones) in campaign order, from a single goroutine.
+	Progress Progress
+	// ShardByKey statically partitions pending runs across the workers
+	// by ShardOf(run key) instead of pulling from a shared queue. Each
+	// shard executes its runs in campaign order. Output is byte-identical
+	// either way (emission is re-sequenced regardless); the static
+	// partition is what lets shards run in isolation — the daemon's
+	// worker pool and future multi-machine sharding depend on it.
+	ShardByKey bool
 }
 
 // Summary reports what Execute did.
@@ -255,13 +324,23 @@ type Summary struct {
 }
 
 // Execute runs a campaign on a worker pool. Runs are independent
-// simulations and execute concurrently; emission (Out, OnResult,
-// Progress) is re-sequenced into the campaign's deterministic run
-// order, so the JSONL stream is byte-identical whether one worker ran
-// or sixteen. The first simulation or write error is returned after the
-// pool drains; remaining results still execute but are not emitted
-// past the error.
-func Execute(c Campaign, opts ExecOptions) (Summary, error) {
+// simulations and execute concurrently; emission (Out, Progress) is
+// re-sequenced into the campaign's deterministic run order, so the
+// JSONL stream is byte-identical whether one worker ran or sixteen,
+// and whether assignment was dynamic or statically sharded. The first
+// simulation or write error is returned after the pool drains;
+// remaining results still execute but are not emitted past the error.
+//
+// Cancelling ctx stops dispatching new runs; simulations already in
+// flight finish (a single run is not interruptible) and the pool
+// drains. Emission stays a campaign-order prefix, so whatever reached
+// Out is a valid checkpoint: resuming from it completes the campaign
+// with a byte-identical concatenation. A cancelled Execute returns
+// ctx.Err() (test with errors.Is(err, context.Canceled)).
+func Execute(ctx context.Context, c Campaign, opts ExecOptions) (Summary, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	runs, err := c.Runs()
 	if err != nil {
 		return Summary{}, err
@@ -297,9 +376,6 @@ func Execute(c Campaign, opts ExecOptions) (Summary, error) {
 			pending = append(pending, r)
 		}
 	}
-	if workers > len(pending) && len(pending) > 0 {
-		workers = len(pending)
-	}
 	sum := Summary{Total: len(runs), Skipped: len(runs) - len(pending)}
 
 	type outcome struct {
@@ -307,28 +383,74 @@ func Execute(c Campaign, opts ExecOptions) (Summary, error) {
 		res Result
 		err error
 	}
-	jobs := make(chan Run)
 	outs := make(chan outcome)
 	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for r := range jobs {
-				res, err := scenario.Run(r.Opts)
-				if err != nil {
-					outs <- outcome{r.Index, Result{}, fmt.Errorf("runner: run %s: %w", r.Key, err)}
-					continue
+	execute := func(r Run) outcome {
+		res, err := scenario.Run(r.Opts)
+		if err != nil {
+			return outcome{r.Index, Result{}, fmt.Errorf("runner: run %s: %w", r.Key, err)}
+		}
+		return outcome{r.Index, ResultOf(r, res), nil}
+	}
+	if opts.ShardByKey {
+		// Static partition: shard i owns exactly the runs whose key
+		// hashes to i, regardless of how many are pending or how fast the
+		// other shards drain. Workers is the shard count verbatim so the
+		// partition is a function of the option, not of checkpoint state.
+		shards := make([][]Run, workers)
+		for _, r := range pending {
+			s := ShardOf(r.Key, workers)
+			shards[s] = append(shards[s], r)
+		}
+		for _, shard := range shards {
+			if len(shard) == 0 {
+				continue
+			}
+			wg.Add(1)
+			go func(list []Run) {
+				defer wg.Done()
+				for _, r := range list {
+					if ctx.Err() != nil {
+						return
+					}
+					outs <- execute(r)
 				}
-				outs <- outcome{r.Index, ResultOf(r, res), nil}
+			}(shard)
+		}
+	} else {
+		if workers > len(pending) && len(pending) > 0 {
+			workers = len(pending)
+		}
+		jobs := make(chan Run)
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for r := range jobs {
+					outs <- execute(r)
+				}
+			}()
+		}
+		go func() {
+			defer close(jobs)
+			for _, r := range pending {
+				// The explicit check matters: a ready-to-send select picks
+				// randomly between its cases, so without it a cancelled
+				// dispatcher could keep handing out jobs.
+				if ctx.Err() != nil {
+					return
+				}
+				select {
+				case jobs <- r:
+				case <-ctx.Done():
+					return
+				}
 			}
 		}()
 	}
 	go func() {
-		for _, r := range pending {
-			jobs <- r
-		}
-		close(jobs)
+		wg.Wait()
+		close(outs)
 	}()
 
 	var firstErr error
@@ -345,20 +467,22 @@ func Execute(c Campaign, opts ExecOptions) (Summary, error) {
 						firstErr = werr
 					}
 				}
-				if opts.OnResult != nil {
-					opts.OnResult(runs[next], s.res)
+				done++
+				if opts.Progress != nil {
+					opts.Progress.RunDone(RunEvent{
+						Run:     runs[next],
+						Result:  s.res,
+						Resumed: !s.executed,
+						Done:    done,
+						Total:   len(runs),
+					})
 				}
-			}
-			done++
-			if opts.Progress != nil {
-				opts.Progress(done, len(runs))
 			}
 			next++
 		}
 	}
 	flush() // emit any checkpointed prefix immediately
-	for received := 0; received < len(pending); received++ {
-		o := <-outs
+	for o := range outs {
 		if o.err != nil {
 			slots[o.idx] = slot{ready: true, err: o.err}
 		} else {
@@ -367,7 +491,9 @@ func Execute(c Campaign, opts ExecOptions) (Summary, error) {
 		}
 		flush()
 	}
-	wg.Wait()
 	sum.Elapsed = time.Since(start)
+	if firstErr == nil {
+		firstErr = ctx.Err()
+	}
 	return sum, firstErr
 }

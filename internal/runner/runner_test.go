@@ -2,6 +2,7 @@ package runner
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"math"
 	"os"
@@ -193,49 +194,57 @@ func TestDuplicateAxisValueRejected(t *testing.T) {
 }
 
 // TestExecuteDeterministicAcrossWorkers is the tentpole invariant: the
-// JSONL stream and the OnResult order are byte/value-identical whether
-// the campaign ran serially or on a full worker pool.
+// JSONL stream and the Progress order are byte/value-identical whether
+// the campaign ran serially or on a full worker pool — with dynamic
+// pull or static run-key sharding.
 func TestExecuteDeterministicAcrossWorkers(t *testing.T) {
-	var serial, parallel bytes.Buffer
-	var serialKeys, parallelKeys []string
-
-	sum1, err := Execute(tinyCampaign(), ExecOptions{
+	var serial bytes.Buffer
+	var serialKeys []string
+	sum1, err := Execute(context.Background(), tinyCampaign(), ExecOptions{
 		Workers: 1,
 		Out:     &serial,
-		OnResult: func(run Run, r Result) {
-			serialKeys = append(serialKeys, run.Key)
-		},
+		Progress: ProgressFunc(func(ev RunEvent) {
+			serialKeys = append(serialKeys, ev.Run.Key)
+		}),
 	})
 	if err != nil {
 		t.Fatal(err)
 	}
-	sumN, err := Execute(tinyCampaign(), ExecOptions{
-		Workers: 8,
-		Out:     &parallel,
-		OnResult: func(run Run, r Result) {
-			parallelKeys = append(parallelKeys, run.Key)
-		},
-	})
-	if err != nil {
-		t.Fatal(err)
+	if sum1.Executed != 8 {
+		t.Fatalf("executed %d, want 8", sum1.Executed)
 	}
-	if sum1.Executed != 8 || sumN.Executed != 8 {
-		t.Fatalf("executed %d/%d, want 8/8", sum1.Executed, sumN.Executed)
-	}
-	if !bytes.Equal(serial.Bytes(), parallel.Bytes()) {
-		t.Errorf("JSONL differs between 1 and 8 workers:\n--- serial ---\n%s--- parallel ---\n%s",
-			serial.String(), parallel.String())
-	}
-	for i := range serialKeys {
-		if serialKeys[i] != parallelKeys[i] {
-			t.Fatalf("OnResult order differs at %d: %s vs %s", i, serialKeys[i], parallelKeys[i])
+	for _, shard := range []bool{false, true} {
+		var parallel bytes.Buffer
+		var parallelKeys []string
+		sumN, err := Execute(context.Background(), tinyCampaign(), ExecOptions{
+			Workers:    8,
+			ShardByKey: shard,
+			Out:        &parallel,
+			Progress: ProgressFunc(func(ev RunEvent) {
+				parallelKeys = append(parallelKeys, ev.Run.Key)
+			}),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if sumN.Executed != 8 {
+			t.Fatalf("shard=%v: executed %d, want 8", shard, sumN.Executed)
+		}
+		if !bytes.Equal(serial.Bytes(), parallel.Bytes()) {
+			t.Errorf("shard=%v: JSONL differs between 1 and 8 workers:\n--- serial ---\n%s--- parallel ---\n%s",
+				shard, serial.String(), parallel.String())
+		}
+		for i := range serialKeys {
+			if serialKeys[i] != parallelKeys[i] {
+				t.Fatalf("shard=%v: Progress order differs at %d: %s vs %s", shard, i, serialKeys[i], parallelKeys[i])
+			}
 		}
 	}
 }
 
 func TestExecuteResume(t *testing.T) {
 	var full bytes.Buffer
-	if _, err := Execute(tinyCampaign(), ExecOptions{Out: &full}); err != nil {
+	if _, err := Execute(context.Background(), tinyCampaign(), ExecOptions{Out: &full}); err != nil {
 		t.Fatal(err)
 	}
 	results, err := LoadResults(bytes.NewReader(full.Bytes()))
@@ -247,14 +256,15 @@ func TestExecuteResume(t *testing.T) {
 	}
 
 	// Resume with the first half checkpointed: only the rest executes,
-	// the aggregate over OnResult matches the full run exactly.
+	// the aggregate over Progress matches the full run exactly —
+	// resumed results replay through the same callback.
 	completed := ResumeSet(results[:4])
 	var rest bytes.Buffer
 	var meanT float64
-	sum, err := Execute(tinyCampaign(), ExecOptions{
+	sum, err := Execute(context.Background(), tinyCampaign(), ExecOptions{
 		Out:       &rest,
 		Completed: completed,
-		OnResult:  func(run Run, r Result) { meanT += r.ThroughputKbps / 8 },
+		Progress:  ProgressFunc(func(ev RunEvent) { meanT += ev.Result.ThroughputKbps / 8 }),
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -295,7 +305,7 @@ func TestLoadCheckpointFile(t *testing.T) {
 	}
 
 	var buf bytes.Buffer
-	if _, err := Execute(tinyCampaign(), ExecOptions{Out: &buf}); err != nil {
+	if _, err := Execute(context.Background(), tinyCampaign(), ExecOptions{Out: &buf}); err != nil {
 		t.Fatal(err)
 	}
 	// A truncated final line (crash mid-write) is dropped, not fatal.
@@ -314,7 +324,7 @@ func TestLoadCheckpointFile(t *testing.T) {
 
 func TestExecuteRejectsStaleCheckpoint(t *testing.T) {
 	var full bytes.Buffer
-	if _, err := Execute(tinyCampaign(), ExecOptions{Out: &full}); err != nil {
+	if _, err := Execute(context.Background(), tinyCampaign(), ExecOptions{Out: &full}); err != nil {
 		t.Fatal(err)
 	}
 	results, err := LoadResults(bytes.NewReader(full.Bytes()))
@@ -326,7 +336,7 @@ func TestExecuteRejectsStaleCheckpoint(t *testing.T) {
 	// checkpoint must be rejected rather than silently reused.
 	c := tinyCampaign()
 	c.BaseSeed = 99
-	if _, err := Execute(c, ExecOptions{Completed: ResumeSet(results)}); err == nil {
+	if _, err := Execute(context.Background(), c, ExecOptions{Completed: ResumeSet(results)}); err == nil {
 		t.Fatal("checkpoint from a different base seed accepted")
 	}
 
@@ -334,7 +344,7 @@ func TestExecuteRejectsStaleCheckpoint(t *testing.T) {
 	c = tinyCampaign()
 	c.Base.Duration = 10 * sim.Second
 	c.Base.Warmup = sim.Duration(sim.Second)
-	if _, err := Execute(c, ExecOptions{Completed: ResumeSet(results)}); err == nil {
+	if _, err := Execute(context.Background(), c, ExecOptions{Completed: ResumeSet(results)}); err == nil {
 		t.Fatal("checkpoint from a different duration accepted")
 	}
 }
@@ -394,9 +404,9 @@ func TestLoadResultsRejectsInteriorGarbage(t *testing.T) {
 
 func TestExecuteProgress(t *testing.T) {
 	var dones []int
-	_, err := Execute(tinyCampaign(), ExecOptions{
+	_, err := Execute(context.Background(), tinyCampaign(), ExecOptions{
 		Workers:  4,
-		Progress: func(done, total int) { dones = append(dones, done) },
+		Progress: ProgressFunc(func(ev RunEvent) { dones = append(dones, ev.Done) }),
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -414,7 +424,8 @@ func TestExecuteProgress(t *testing.T) {
 func TestAggregate(t *testing.T) {
 	agg := NewAggregate()
 	var out bytes.Buffer
-	if _, err := Execute(tinyCampaign(), ExecOptions{Out: &out, OnResult: agg.Add}); err != nil {
+	// Aggregate implements Progress directly.
+	if _, err := Execute(context.Background(), tinyCampaign(), ExecOptions{Out: &out, Progress: agg}); err != nil {
 		t.Fatal(err)
 	}
 	pts := agg.Points()
@@ -645,7 +656,7 @@ func TestExecuteRepeatDeterministic(t *testing.T) {
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
 			var first bytes.Buffer
-			if _, err := Execute(tc.c, ExecOptions{Workers: 2, Out: &first}); err != nil {
+			if _, err := Execute(context.Background(), tc.c, ExecOptions{Workers: 2, Out: &first}); err != nil {
 				t.Fatal(err)
 			}
 			if first.Len() == 0 {
@@ -653,7 +664,7 @@ func TestExecuteRepeatDeterministic(t *testing.T) {
 			}
 			for i := 0; i < 2; i++ {
 				var again bytes.Buffer
-				if _, err := Execute(tc.c, ExecOptions{Workers: 2, Out: &again}); err != nil {
+				if _, err := Execute(context.Background(), tc.c, ExecOptions{Workers: 2, Out: &again}); err != nil {
 					t.Fatal(err)
 				}
 				if !bytes.Equal(first.Bytes(), again.Bytes()) {
@@ -707,7 +718,7 @@ func TestExecuteGridLinearIdentical(t *testing.T) {
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
 			var gridded bytes.Buffer
-			if _, err := Execute(tc.c, ExecOptions{Workers: 2, Out: &gridded}); err != nil {
+			if _, err := Execute(context.Background(), tc.c, ExecOptions{Workers: 2, Out: &gridded}); err != nil {
 				t.Fatal(err)
 			}
 			if gridded.Len() == 0 {
@@ -716,7 +727,7 @@ func TestExecuteGridLinearIdentical(t *testing.T) {
 			linearCamp := tc.c
 			linearCamp.Base.DisableSpatialGrid = true
 			var linear bytes.Buffer
-			if _, err := Execute(linearCamp, ExecOptions{Workers: 2, Out: &linear}); err != nil {
+			if _, err := Execute(context.Background(), linearCamp, ExecOptions{Workers: 2, Out: &linear}); err != nil {
 				t.Fatal(err)
 			}
 			if !bytes.Equal(gridded.Bytes(), linear.Bytes()) {

@@ -1,6 +1,7 @@
 package runner
 
 import (
+	"bytes"
 	"encoding/json"
 	"fmt"
 	"os"
@@ -9,10 +10,18 @@ import (
 	"repro/internal/scenario"
 )
 
+// SpecVersion is the current campaign spec schema version. Specs carry
+// it as "version" so a daemon can reject a spec written for a future
+// schema with an actionable error instead of silently dropping fields;
+// a missing version means "pre-versioning spec" and is accepted as the
+// current schema for backward compatibility.
+const SpecVersion = 1
+
 // CampaignFile is the JSON form of a Campaign, so whole evaluation
 // grids live in version-controlled spec files:
 //
 //	{
+//	  "version": 1,
 //	  "name": "fig8",
 //	  "base": {"scheme": "basic", "duration_s": 100, "warmup_s": 5},
 //	  "schemes": ["basic", "pcmac", "scheme1", "scheme2"],
@@ -20,6 +29,7 @@ import (
 //	  "reps": 3
 //	}
 type CampaignFile struct {
+	Version        int                 `json:"version,omitempty"`
 	Name           string              `json:"name"`
 	Base           scenario.FileConfig `json:"base"`
 	Variants       []Variant           `json:"variants,omitempty"`
@@ -40,6 +50,9 @@ type CampaignFile struct {
 
 // Campaign converts the file form to a runnable Campaign.
 func (cf CampaignFile) Campaign() (Campaign, error) {
+	if cf.Version != 0 && cf.Version != SpecVersion {
+		return Campaign{}, fmt.Errorf("runner: spec %q has version %d; this build understands version %d", cf.Name, cf.Version, SpecVersion)
+	}
 	base := cf.Base
 	if base.Scheme == "" {
 		// The base scheme is irrelevant when a schemes axis is given;
@@ -81,6 +94,7 @@ func (cf CampaignFile) Campaign() (Campaign, error) {
 // CampaignFile.Campaign for the representable fields).
 func (c Campaign) File() CampaignFile {
 	cf := CampaignFile{
+		Version:        SpecVersion,
 		Name:           c.Name,
 		Base:           scenario.ToFileConfig(c.Base),
 		Variants:       c.Variants,
@@ -103,14 +117,35 @@ func (c Campaign) File() CampaignFile {
 	return cf
 }
 
+// ParseCampaignFile strictly decodes a campaign spec: unknown fields
+// (the usual symptom of a typo'd axis name), trailing garbage, and
+// unsupported versions are all errors, phrased to tell the author what
+// to fix. It is the single decode path for spec files and the daemon's
+// POST /campaigns body.
+func ParseCampaignFile(b []byte) (CampaignFile, error) {
+	dec := json.NewDecoder(bytes.NewReader(b))
+	dec.DisallowUnknownFields()
+	var cf CampaignFile
+	if err := dec.Decode(&cf); err != nil {
+		return CampaignFile{}, fmt.Errorf("runner: campaign spec: %w", err)
+	}
+	if dec.More() {
+		return CampaignFile{}, fmt.Errorf("runner: campaign spec: trailing data after the JSON object")
+	}
+	if cf.Version != 0 && cf.Version != SpecVersion {
+		return CampaignFile{}, fmt.Errorf("runner: campaign spec %q has version %d; this build understands version %d", cf.Name, cf.Version, SpecVersion)
+	}
+	return cf, nil
+}
+
 // LoadCampaign reads a campaign spec from a JSON file.
 func LoadCampaign(path string) (Campaign, error) {
 	b, err := os.ReadFile(path)
 	if err != nil {
 		return Campaign{}, fmt.Errorf("runner: %w", err)
 	}
-	var cf CampaignFile
-	if err := json.Unmarshal(b, &cf); err != nil {
+	cf, err := ParseCampaignFile(b)
+	if err != nil {
 		return Campaign{}, fmt.Errorf("runner: parsing %s: %w", path, err)
 	}
 	return cf.Campaign()

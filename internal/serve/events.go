@@ -1,0 +1,98 @@
+package serve
+
+import (
+	"encoding/json"
+	"sync"
+)
+
+// Event is one server-sent event: a type tag and a single-line JSON
+// payload. Campaign events are published in the campaign's
+// deterministic emission order and logged, so a subscriber connecting
+// at any point — including after completion — replays the identical
+// sequence a from-the-start subscriber saw.
+type Event struct {
+	Type string
+	Data []byte
+}
+
+// hub is a per-campaign event log with live fan-out. Publishing never
+// blocks on subscribers: a consumer that falls a full buffer behind is
+// disconnected (its channel closed) rather than allowed to stall the
+// campaign's emission goroutine or to silently miss interior events —
+// SSE clients reconnect and replay the log.
+type hub struct {
+	mu     sync.Mutex
+	log    []Event
+	subs   map[int]chan Event
+	nextID int
+	closed bool
+}
+
+func newHub() *hub {
+	return &hub{subs: make(map[int]chan Event)}
+}
+
+// publish marshals v, appends the event to the log and fans it out.
+func (h *hub) publish(typ string, v any) {
+	data, err := json.Marshal(v)
+	if err != nil {
+		// Payloads are plain structs; a marshal failure is a programming
+		// error, but an event stream that silently skips beats a panic in
+		// the emission path.
+		data = []byte(`{"error":"event marshal failed"}`)
+	}
+	e := Event{Type: typ, Data: data}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.closed {
+		return
+	}
+	h.log = append(h.log, e)
+	for id, ch := range h.subs {
+		select {
+		case ch <- e:
+		default:
+			close(ch)
+			delete(h.subs, id)
+		}
+	}
+}
+
+// close ends the stream: live channels are closed and later subscribers
+// get the log plus an already-closed channel.
+func (h *hub) close() {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.closed {
+		return
+	}
+	h.closed = true
+	for id, ch := range h.subs {
+		close(ch)
+		delete(h.subs, id)
+	}
+}
+
+// subscribe returns the events published so far and a channel for the
+// rest. cancel detaches (idempotent, safe after close).
+func (h *hub) subscribe() (history []Event, live <-chan Event, cancel func()) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	history = append([]Event(nil), h.log...)
+	ch := make(chan Event, 1024)
+	if h.closed {
+		close(ch)
+		return history, ch, func() {}
+	}
+	id := h.nextID
+	h.nextID++
+	h.subs[id] = ch
+	return history, ch, func() {
+		h.mu.Lock()
+		defer h.mu.Unlock()
+		if c, ok := h.subs[id]; ok {
+			close(c)
+			delete(h.subs, id)
+		}
+	}
+}

@@ -1,0 +1,296 @@
+// HTTP surface of the campaign service: spec submission, status,
+// server-sent event streams, checkpoint/aggregate artifacts and the
+// dashboard page. All error responses are JSON {"error": "..."} with
+// messages written for the person who typed the spec.
+package serve
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"strings"
+
+	"repro/internal/geom"
+	"repro/internal/packet"
+	"repro/internal/runner"
+	"repro/internal/viz"
+)
+
+// maxSpecBytes bounds a POST /campaigns body; real specs are a few KB.
+const maxSpecBytes = 16 << 20
+
+// Server wires a Service into an http.Handler.
+type Server struct {
+	svc *Service
+	mux *http.ServeMux
+}
+
+// NewServer builds the HTTP handler for a Service.
+func NewServer(svc *Service) *Server {
+	s := &Server{svc: svc, mux: http.NewServeMux()}
+	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.mux.HandleFunc("POST /campaigns", s.handleSubmit)
+	s.mux.HandleFunc("GET /campaigns", s.handleList)
+	s.mux.HandleFunc("GET /campaigns/{id}", s.handleStatus)
+	s.mux.HandleFunc("POST /campaigns/{id}/cancel", s.handleCancel)
+	s.mux.HandleFunc("GET /campaigns/{id}/events", s.handleEvents)
+	s.mux.HandleFunc("GET /campaigns/{id}/results.jsonl", s.handleResults)
+	s.mux.HandleFunc("GET /campaigns/{id}/aggregate.csv", s.handleAggregate)
+	s.mux.HandleFunc("GET /campaigns/{id}/dashboard", s.handleDashboard)
+	return s
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s.mux.ServeHTTP(w, r)
+}
+
+// httpError writes a JSON error with the given status. Write failures
+// here mean the client went away — nothing to do about them.
+func httpError(w http.ResponseWriter, code int, format string, args ...any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	_ = json.NewEncoder(w).Encode(map[string]string{"error": fmt.Sprintf(format, args...)})
+}
+
+// writeJSON writes v with the given status.
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+// campaign resolves the {id} path value, writing 404 on a miss.
+func (s *Server) campaign(w http.ResponseWriter, r *http.Request) (*Campaign, bool) {
+	c, err := s.svc.Get(r.PathValue("id"))
+	if err != nil {
+		httpError(w, http.StatusNotFound, "%v", err)
+		return nil, false
+	}
+	return c, true
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+// handleSubmit accepts a CampaignFile JSON body. The decode is strict:
+// unknown fields, bad versions and invalid scenarios all come back as
+// 400s naming the problem. Submission is idempotent — re-posting a
+// known spec returns 200 with the existing campaign instead of 202.
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxSpecBytes))
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "reading spec body: %v", err)
+		return
+	}
+	cf, err := runner.ParseCampaignFile(body)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	c, created, err := s.svc.Submit(cf)
+	if err != nil {
+		if errors.Is(err, ErrBadSpec) {
+			httpError(w, http.StatusBadRequest, "%v", err)
+		} else {
+			httpError(w, http.StatusInternalServerError, "%v", err)
+		}
+		return
+	}
+	code := http.StatusOK
+	if created {
+		code = http.StatusAccepted
+	}
+	writeJSON(w, code, c.Status())
+}
+
+func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
+	camps := s.svc.List()
+	statuses := make([]Status, 0, len(camps))
+	for _, c := range camps {
+		statuses = append(statuses, c.Status())
+	}
+	writeJSON(w, http.StatusOK, statuses)
+}
+
+func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
+	c, ok := s.campaign(w, r)
+	if !ok {
+		return
+	}
+	writeJSON(w, http.StatusOK, c.Status())
+}
+
+func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
+	c, ok := s.campaign(w, r)
+	if !ok {
+		return
+	}
+	c.cancel()
+	writeJSON(w, http.StatusOK, c.Status())
+}
+
+// handleEvents streams the campaign's event log and live tail as
+// server-sent events: a "snapshot" status first, then the replayed and
+// live "result"/"aggregate" events in deterministic campaign order,
+// ending with "done" when the campaign settles. Connecting after
+// completion replays the identical sequence and ends.
+func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
+	c, ok := s.campaign(w, r)
+	if !ok {
+		return
+	}
+	fl, ok := w.(http.Flusher)
+	if !ok {
+		httpError(w, http.StatusInternalServerError, "streaming unsupported by this connection")
+		return
+	}
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.WriteHeader(http.StatusOK)
+
+	history, live, cancel := c.Subscribe()
+	defer cancel()
+
+	snap, _ := json.Marshal(c.Status())
+	writeSSE(w, Event{Type: "snapshot", Data: snap})
+	for _, e := range history {
+		writeSSE(w, e)
+	}
+	fl.Flush()
+	for {
+		select {
+		case e, open := <-live:
+			if !open {
+				return
+			}
+			writeSSE(w, e)
+			fl.Flush()
+		case <-r.Context().Done():
+			return
+		}
+	}
+}
+
+// writeSSE emits one event in text/event-stream framing. Payloads are
+// single-line JSON, so no data splitting is needed.
+func writeSSE(w io.Writer, e Event) {
+	fmt.Fprintf(w, "event: %s\ndata: %s\n\n", e.Type, e.Data)
+}
+
+// handleResults serves the campaign's JSONL checkpoint as it stands:
+// during execution a campaign-order prefix, after completion the full
+// stream — byte-identical to cmd/campaign's output for the same spec.
+func (s *Server) handleResults(w http.ResponseWriter, r *http.Request) {
+	c, ok := s.campaign(w, r)
+	if !ok {
+		return
+	}
+	b, err := os.ReadFile(c.ResultsPath())
+	if os.IsNotExist(err) {
+		b = nil // no runs emitted yet: an empty, valid JSONL stream
+	} else if err != nil {
+		httpError(w, http.StatusInternalServerError, "%v", err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.WriteHeader(http.StatusOK)
+	_, _ = w.Write(b)
+}
+
+func (s *Server) handleAggregate(w http.ResponseWriter, r *http.Request) {
+	c, ok := s.campaign(w, r)
+	if !ok {
+		return
+	}
+	csv, err := c.AggregateCSV()
+	if err != nil {
+		httpError(w, http.StatusInternalServerError, "%v", err)
+		return
+	}
+	w.Header().Set("Content-Type", "text/csv")
+	w.WriteHeader(http.StatusOK)
+	_, _ = io.WriteString(w, csv)
+}
+
+// handleDashboard renders the viz dashboard page: status header, live
+// SSE-driven progress, the aggregate table, and — for explicit static
+// placements — an ASCII topology map.
+func (s *Server) handleDashboard(w http.ResponseWriter, r *http.Request) {
+	c, ok := s.campaign(w, r)
+	if !ok {
+		return
+	}
+	st := c.Status()
+	d := viz.DashboardData{
+		Title:         st.Name,
+		ID:            st.ID,
+		State:         st.State,
+		Done:          st.Done,
+		Total:         st.Total,
+		Executed:      st.Executed,
+		Resumed:       st.Resumed,
+		ElapsedS:      st.ElapsedS,
+		Error:         st.Error,
+		EventsPath:    "events",
+		ResultsPath:   "results.jsonl",
+		AggregatePath: "aggregate.csv",
+		TopologyASCII: topologyASCII(c),
+	}
+	d.AggregateHeader = []string{"point", "n", "throughput (kbps)", "delay (ms)", "p95 (ms)", "pdr", "consumed (J)"}
+	for _, p := range c.AggregatePoints() {
+		d.AggregateRows = append(d.AggregateRows, []string{
+			p.Label,
+			fmt.Sprintf("%d", p.Throughput.N()),
+			fmt.Sprintf("%.1f", p.Throughput.Mean()),
+			fmt.Sprintf("%.1f", p.DelayMs.Mean()),
+			fmt.Sprintf("%.1f", p.DelayP95Ms.Mean()),
+			fmt.Sprintf("%.3f", p.PDR.Mean()),
+			fmt.Sprintf("%.1f", p.ConsumedJ.Mean()),
+		})
+	}
+	w.Header().Set("Content-Type", "text/html; charset=utf-8")
+	w.WriteHeader(http.StatusOK)
+	if err := viz.Dashboard(w, d); err != nil {
+		// Headers are gone; nothing to do but drop the connection.
+		return
+	}
+}
+
+// topologyASCII renders the base scenario's static placements (the
+// only ones known without building a full run) as a viz map.
+func topologyASCII(c *Campaign) string {
+	pts := c.camp.Base.Static
+	if len(pts) == 0 {
+		return ""
+	}
+	field := geom.Rect{Max: geom.Point{X: c.camp.Base.FieldW, Y: c.camp.Base.FieldH}}
+	for _, p := range pts {
+		if p.X > field.Max.X {
+			field.Max.X = p.X
+		}
+		if p.Y > field.Max.Y {
+			field.Max.Y = p.Y
+		}
+	}
+	if field.Width() <= 0 || field.Height() <= 0 {
+		// Degenerate (collinear on an axis) placements: pad so the map
+		// grid stays well-formed.
+		field.Max.X += 1
+		field.Max.Y += 1
+	}
+	m := viz.NewMap(field, 64, 20)
+	for i, p := range pts {
+		m.Add(packet.NodeID(i), p)
+	}
+	m.MarkFlows(c.camp.Base.FlowPairs)
+	var sb strings.Builder
+	if err := m.Render(&sb); err != nil {
+		return ""
+	}
+	return sb.String()
+}

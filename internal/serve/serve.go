@@ -1,0 +1,456 @@
+// Package serve is the campaign service: long-lived execution of
+// campaign specs with per-campaign JSONL checkpoints, deterministic
+// static sharding across a worker pool, live event streaming, and an
+// HTTP surface (cmd/campaignd) on top. cmd/campaign is a thin client
+// of the same package — both run campaigns through RunCampaign, which
+// is what makes a daemon-served results.jsonl byte-identical to the
+// CLI's output for the same spec, before and after restarts.
+package serve
+
+import (
+	"context"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/runner"
+)
+
+// Campaign states reported by Status.
+const (
+	StateRunning  = "running"
+	StateDone     = "done"
+	StateFailed   = "failed"
+	StateCanceled = "canceled"
+)
+
+// ErrBadSpec wraps submission failures caused by the spec itself
+// (unparseable, unsupported version, invalid scenario); the HTTP layer
+// maps it to 400 with the underlying message.
+var ErrBadSpec = errors.New("bad campaign spec")
+
+// ErrNotFound reports an unknown campaign ID.
+var ErrNotFound = errors.New("no such campaign")
+
+// RunCampaign executes c against its JSONL checkpoint at path: repair
+// a torn tail left by a crash, load already-completed runs, append the
+// remainder in deterministic campaign order. The daemon (one state dir
+// per campaign) and cmd/campaign (the -out flag) both execute through
+// this one path, so their checkpoint files are byte-identical for the
+// same spec — including a daemon file assembled across restarts, since
+// the appended suffix always continues the campaign-order prefix.
+//
+// An empty path runs without a checkpoint; resume=false truncates any
+// existing file instead of resuming. Cancelling ctx stops dispatching,
+// lets in-flight runs finish, and leaves the file a valid resumable
+// prefix.
+func RunCampaign(ctx context.Context, c runner.Campaign, path string, resume bool, opts runner.ExecOptions) (runner.Summary, error) {
+	if path != "" {
+		if resume {
+			if err := runner.RepairCheckpoint(path); err != nil {
+				return runner.Summary{}, err
+			}
+			completed, err := runner.LoadCheckpoint(path)
+			if err != nil {
+				return runner.Summary{}, err
+			}
+			opts.Completed = completed
+		}
+		mode := os.O_CREATE | os.O_WRONLY
+		if resume {
+			mode |= os.O_APPEND
+		} else {
+			mode |= os.O_TRUNC
+		}
+		f, err := os.OpenFile(path, mode, 0o644)
+		if err != nil {
+			return runner.Summary{}, fmt.Errorf("serve: %w", err)
+		}
+		defer f.Close()
+		opts.Out = f
+	}
+	return runner.Execute(ctx, c, opts)
+}
+
+// SpecID derives a campaign's identifier from the canonical encoding of
+// its spec (version pinned, struct field order fixed). The same spec
+// always maps to the same ID, so submission is idempotent and a client
+// re-posting after a daemon restart reattaches to the resumed campaign
+// instead of duplicating the work.
+func SpecID(cf runner.CampaignFile) string {
+	cf.Version = runner.SpecVersion
+	b, err := json.Marshal(cf)
+	if err != nil {
+		// CampaignFile is plain data; Marshal cannot fail on it.
+		panic(fmt.Sprintf("serve: marshal spec: %v", err))
+	}
+	sum := sha256.Sum256(b)
+	return hex.EncodeToString(sum[:])[:12]
+}
+
+// Service owns the campaigns of one daemon: submission, sharded
+// execution with checkpoints under its state dir, cancellation, and
+// restart recovery (NewService re-launches every persisted campaign;
+// finished ones settle instantly from their checkpoints).
+type Service struct {
+	dir     string
+	workers int
+
+	ctx    context.Context
+	cancel context.CancelFunc
+	wg     sync.WaitGroup
+
+	mu    sync.Mutex
+	camps map[string]*Campaign
+	order []string
+}
+
+// NewService opens (or creates) the state directory and resumes every
+// campaign persisted in it. workers is the per-campaign shard count
+// (0 = GOMAXPROCS).
+func NewService(dir string, workers int) (*Service, error) {
+	if dir == "" {
+		return nil, fmt.Errorf("serve: state dir required")
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("serve: %w", err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	s := &Service{
+		dir:     dir,
+		workers: workers,
+		ctx:     ctx,
+		cancel:  cancel,
+		camps:   make(map[string]*Campaign),
+	}
+	if err := s.resumePersisted(); err != nil {
+		cancel()
+		return nil, err
+	}
+	return s, nil
+}
+
+// resumePersisted relaunches every campaign with a spec.json under the
+// state dir. Checkpointed runs replay instantly (resumed, not
+// re-executed), so a restarted daemon converges to where it was killed
+// and continues.
+func (s *Service) resumePersisted() error {
+	entries, err := os.ReadDir(s.dir)
+	if err != nil {
+		return fmt.Errorf("serve: %w", err)
+	}
+	for _, e := range entries {
+		if !e.IsDir() {
+			continue
+		}
+		specPath := filepath.Join(s.dir, e.Name(), "spec.json")
+		b, err := os.ReadFile(specPath)
+		if os.IsNotExist(err) {
+			continue
+		}
+		if err != nil {
+			return fmt.Errorf("serve: %w", err)
+		}
+		cf, err := runner.ParseCampaignFile(b)
+		if err != nil {
+			return fmt.Errorf("serve: resuming %s: %w", specPath, err)
+		}
+		if _, _, err := s.Submit(cf); err != nil {
+			return fmt.Errorf("serve: resuming %s: %w", specPath, err)
+		}
+	}
+	return nil
+}
+
+// Submit validates and launches a campaign; created reports whether it
+// was new (false: an identical spec is already known and the existing
+// campaign is returned — submission is idempotent).
+func (s *Service) Submit(cf runner.CampaignFile) (c *Campaign, created bool, err error) {
+	cf.Version = runner.SpecVersion
+	camp, err := cf.Campaign()
+	if err != nil {
+		return nil, false, fmt.Errorf("%w: %v", ErrBadSpec, err)
+	}
+	runs, err := camp.Runs()
+	if err != nil {
+		return nil, false, fmt.Errorf("%w: %v", ErrBadSpec, err)
+	}
+	id := SpecID(cf)
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if existing, ok := s.camps[id]; ok {
+		return existing, false, nil
+	}
+	cdir := filepath.Join(s.dir, id)
+	if err := os.MkdirAll(cdir, 0o755); err != nil {
+		return nil, false, fmt.Errorf("serve: %w", err)
+	}
+	spec, err := json.MarshalIndent(cf, "", "  ")
+	if err != nil {
+		return nil, false, fmt.Errorf("serve: %w", err)
+	}
+	if err := os.WriteFile(filepath.Join(cdir, "spec.json"), append(spec, '\n'), 0o644); err != nil {
+		return nil, false, fmt.Errorf("serve: %w", err)
+	}
+	c = &Campaign{
+		id:      id,
+		spec:    cf,
+		camp:    camp,
+		total:   len(runs),
+		dir:     cdir,
+		state:   StateRunning,
+		started: time.Now(),
+		agg:     runner.NewAggregate(),
+		hub:     newHub(),
+		done:    make(chan struct{}),
+	}
+	s.camps[id] = c
+	s.order = append(s.order, id)
+	s.launch(c)
+	return c, true, nil
+}
+
+// launch starts the campaign's executor goroutine. Caller holds s.mu.
+func (s *Service) launch(c *Campaign) {
+	ctx, cancel := context.WithCancel(s.ctx)
+	c.cancel = cancel
+	s.wg.Add(1)
+	go func() {
+		defer s.wg.Done()
+		defer cancel()
+		sum, err := RunCampaign(ctx, c.camp, c.ResultsPath(), true, runner.ExecOptions{
+			Workers:    s.workers,
+			ShardByKey: true,
+			Progress:   c,
+		})
+		c.finish(sum, err)
+	}()
+}
+
+// Get returns a campaign by ID.
+func (s *Service) Get(id string) (*Campaign, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	c, ok := s.camps[id]
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrNotFound, id)
+	}
+	return c, nil
+}
+
+// List returns the campaigns in submission order.
+func (s *Service) List() []*Campaign {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]*Campaign, 0, len(s.order))
+	for _, id := range s.order {
+		out = append(out, s.camps[id])
+	}
+	return out
+}
+
+// Cancel stops a running campaign; its checkpoint stays resumable and
+// a later identical Submit (or daemon restart) picks it back up.
+func (s *Service) Cancel(id string) (*Campaign, error) {
+	c, err := s.Get(id)
+	if err != nil {
+		return nil, err
+	}
+	c.cancel()
+	return c, nil
+}
+
+// Close cancels every campaign and waits for their executors to drain,
+// leaving all checkpoints valid. The graceful-shutdown path of the
+// daemon.
+func (s *Service) Close() {
+	s.cancel()
+	s.wg.Wait()
+}
+
+// Campaign is one submitted campaign's lifecycle: executor state,
+// aggregate, and event stream.
+type Campaign struct {
+	id    string
+	spec  runner.CampaignFile
+	camp  runner.Campaign
+	total int
+	dir   string
+
+	cancel context.CancelFunc
+	done   chan struct{}
+	hub    *hub
+
+	mu       sync.Mutex
+	state    string
+	doneRuns int
+	executed int
+	resumed  int
+	errMsg   string
+	started  time.Time
+	elapsed  time.Duration
+	agg      *runner.Aggregate
+}
+
+// Status is the JSON status of one campaign.
+type Status struct {
+	ID       string  `json:"id"`
+	Name     string  `json:"name"`
+	State    string  `json:"state"`
+	Done     int     `json:"done"`
+	Total    int     `json:"total"`
+	Executed int     `json:"executed"`
+	Resumed  int     `json:"resumed"`
+	ElapsedS float64 `json:"elapsed_s"`
+	Error    string  `json:"error,omitempty"`
+}
+
+// resultEvent is the payload of an SSE "result" event.
+type resultEvent struct {
+	Done    int           `json:"done"`
+	Total   int           `json:"total"`
+	Resumed bool          `json:"resumed,omitempty"`
+	Result  runner.Result `json:"result"`
+}
+
+// doneEvent is the payload of the final SSE "done" event.
+type doneEvent struct {
+	State    string  `json:"state"`
+	Executed int     `json:"executed"`
+	Resumed  int     `json:"resumed"`
+	ElapsedS float64 `json:"elapsed_s"`
+	Error    string  `json:"error,omitempty"`
+}
+
+// aggregateEvent carries the current aggregate table as CSV text.
+type aggregateEvent struct {
+	Done  int    `json:"done"`
+	Total int    `json:"total"`
+	CSV   string `json:"csv"`
+}
+
+// ID returns the campaign's identifier.
+func (c *Campaign) ID() string { return c.id }
+
+// Spec returns the normalized spec the campaign was created from.
+func (c *Campaign) Spec() runner.CampaignFile { return c.spec }
+
+// ResultsPath is the campaign's JSONL checkpoint file.
+func (c *Campaign) ResultsPath() string { return filepath.Join(c.dir, "results.jsonl") }
+
+// Done is closed when the campaign's executor exits.
+func (c *Campaign) Done() <-chan struct{} { return c.done }
+
+// Status snapshots the campaign.
+func (c *Campaign) Status() Status {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	elapsed := c.elapsed
+	if c.state == StateRunning {
+		elapsed = time.Since(c.started)
+	}
+	return Status{
+		ID:       c.id,
+		Name:     c.camp.Name,
+		State:    c.state,
+		Done:     c.doneRuns,
+		Total:    c.total,
+		Executed: c.executed,
+		Resumed:  c.resumed,
+		ElapsedS: elapsed.Seconds(),
+		Error:    c.errMsg,
+	}
+}
+
+// Subscribe attaches to the campaign's event stream: the log so far
+// plus live events until the campaign finishes or cancel is called.
+func (c *Campaign) Subscribe() (history []Event, live <-chan Event, cancel func()) {
+	return c.hub.subscribe()
+}
+
+// AggregateCSV renders the current aggregate table.
+func (c *Campaign) AggregateCSV() (string, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.aggregateCSVLocked()
+}
+
+func (c *Campaign) aggregateCSVLocked() (string, error) {
+	var sb strings.Builder
+	if err := c.agg.WriteCSV(&sb); err != nil {
+		return "", err
+	}
+	return sb.String(), nil
+}
+
+// AggregatePoints snapshots the aggregate's grid points (for the
+// dashboard's server-rendered table).
+func (c *Campaign) AggregatePoints() []*runner.Point {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.agg.Points()
+}
+
+// RunDone implements runner.Progress: it is called in campaign order
+// from the executor's emission goroutine, folds the result into the
+// aggregate and publishes the matching SSE events.
+func (c *Campaign) RunDone(ev runner.RunEvent) {
+	c.mu.Lock()
+	c.doneRuns = ev.Done
+	if ev.Resumed {
+		c.resumed++
+	} else {
+		c.executed++
+	}
+	c.agg.Add(ev.Run, ev.Result)
+	// Publish a refreshed aggregate table roughly every decile of a
+	// large campaign (the final table comes with finish()); the
+	// positions depend only on Done/Total, so the event sequence is as
+	// deterministic as the result stream itself.
+	step := ev.Total / 10
+	publishAgg := step > 0 && ev.Done%step == 0 && ev.Done < ev.Total
+	var csv string
+	if publishAgg {
+		csv, _ = c.aggregateCSVLocked()
+	}
+	c.mu.Unlock()
+
+	c.hub.publish("result", resultEvent{Done: ev.Done, Total: ev.Total, Resumed: ev.Resumed, Result: ev.Result})
+	if publishAgg {
+		c.hub.publish("aggregate", aggregateEvent{Done: ev.Done, Total: ev.Total, CSV: csv})
+	}
+}
+
+// finish records the executor's outcome and closes the event stream.
+func (c *Campaign) finish(sum runner.Summary, err error) {
+	c.mu.Lock()
+	c.elapsed = sum.Elapsed
+	switch {
+	case err == nil:
+		c.state = StateDone
+	case errors.Is(err, context.Canceled):
+		c.state = StateCanceled
+	default:
+		c.state = StateFailed
+		c.errMsg = err.Error()
+	}
+	st := c.state
+	doneRuns, total := c.doneRuns, c.total
+	executed, resumed := c.executed, c.resumed
+	errMsg := c.errMsg
+	csv, _ := c.aggregateCSVLocked()
+	c.mu.Unlock()
+
+	c.hub.publish("aggregate", aggregateEvent{Done: doneRuns, Total: total, CSV: csv})
+	c.hub.publish("done", doneEvent{State: st, Executed: executed, Resumed: resumed, ElapsedS: sum.Elapsed.Seconds(), Error: errMsg})
+	c.hub.close()
+	close(c.done)
+}

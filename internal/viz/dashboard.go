@@ -1,0 +1,111 @@
+// Campaign dashboard: a self-contained HTML page (no external assets)
+// rendering one campaign's status, live progress via the service's SSE
+// stream, the aggregate table, and the ASCII topology map when static
+// placements are known. The serve package fills DashboardData; this
+// file owns only presentation.
+package viz
+
+import (
+	"html/template"
+	"io"
+)
+
+// DashboardData is everything the dashboard template renders.
+type DashboardData struct {
+	// Title is the campaign name; ID its service identifier.
+	Title string
+	ID    string
+	// State/Done/Total/Executed/Resumed/ElapsedS/Error mirror the
+	// service's status JSON at render time; the page then follows the
+	// SSE stream.
+	State    string
+	Done     int
+	Total    int
+	Executed int
+	Resumed  int
+	ElapsedS float64
+	Error    string
+	// EventsPath/ResultsPath/AggregatePath are the sibling endpoints,
+	// relative to the dashboard URL.
+	EventsPath    string
+	ResultsPath   string
+	AggregatePath string
+	// AggregateHeader/AggregateRows are the server-rendered aggregate
+	// table (one row per grid point).
+	AggregateHeader []string
+	AggregateRows   [][]string
+	// TopologyASCII, when non-empty, is a pre-rendered Map of the base
+	// scenario's static placements.
+	TopologyASCII string
+}
+
+var dashboardTmpl = template.Must(template.New("dashboard").Parse(`<!doctype html>
+<html lang="en">
+<head>
+<meta charset="utf-8">
+<title>campaign {{.Title}}</title>
+<style>
+body { font-family: ui-monospace, monospace; margin: 2rem; background: #fafafa; color: #222; }
+h1 { font-size: 1.2rem; }
+table { border-collapse: collapse; margin: 1rem 0; }
+th, td { border: 1px solid #ccc; padding: 0.3rem 0.6rem; text-align: right; }
+th:first-child, td:first-child { text-align: left; }
+#bar { width: 32rem; height: 1rem; background: #ddd; }
+#fill { height: 100%; background: #4a8; width: 0; }
+pre { background: #f0f0f0; padding: 0.5rem; display: inline-block; }
+.err { color: #a33; }
+a { color: #357; }
+</style>
+</head>
+<body data-events="{{.EventsPath}}">
+<h1>campaign {{.Title}} <small>({{.ID}})</small></h1>
+<p>state: <b id="state">{{.State}}</b>
+ · runs: <span id="done">{{.Done}}</span>/<span id="total">{{.Total}}</span>
+ · executed {{.Executed}}, resumed {{.Resumed}}
+ · elapsed {{printf "%.1f" .ElapsedS}}s
+{{if .Error}} · <span class="err">{{.Error}}</span>{{end}}</p>
+<div id="bar"><div id="fill"></div></div>
+<p><a href="{{.ResultsPath}}">results.jsonl</a> · <a href="{{.AggregatePath}}">aggregate.csv</a></p>
+{{if .AggregateRows}}
+<table>
+<tr>{{range .AggregateHeader}}<th>{{.}}</th>{{end}}</tr>
+{{range .AggregateRows}}<tr>{{range .}}<td>{{.}}</td>{{end}}</tr>{{end}}
+</table>
+{{end}}
+{{if .TopologyASCII}}
+<h2>base topology</h2>
+<pre>{{.TopologyASCII}}</pre>
+{{end}}
+<script>
+(function () {
+  var total = parseInt(document.getElementById('total').textContent, 10);
+  var fill = document.getElementById('fill');
+  var setDone = function (n) {
+    document.getElementById('done').textContent = n;
+    if (total > 0) { fill.style.width = (100 * n / total) + '%'; }
+  };
+  setDone(parseInt(document.getElementById('done').textContent, 10));
+  var es = new EventSource(document.body.dataset.events);
+  es.addEventListener('result', function (e) {
+    setDone(JSON.parse(e.data).done);
+  });
+  var initialState = document.getElementById('state').textContent;
+  es.addEventListener('done', function (e) {
+    document.getElementById('state').textContent = JSON.parse(e.data).state;
+    es.close();
+    // Pick up the final server-rendered aggregate — but only when the
+    // page was rendered mid-run, or a settled campaign's replayed
+    // "done" event would reload forever.
+    if (initialState === 'running') { location.reload(); }
+  });
+  es.onerror = function () { es.close(); };
+})();
+</script>
+</body>
+</html>
+`))
+
+// Dashboard renders the campaign dashboard page.
+func Dashboard(w io.Writer, d DashboardData) error {
+	return dashboardTmpl.Execute(w, d)
+}

@@ -1,0 +1,52 @@
+package viz
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestDashboardRender(t *testing.T) {
+	var sb strings.Builder
+	err := Dashboard(&sb, DashboardData{
+		Title:           "fig8",
+		ID:              "abc123def456",
+		State:           "running",
+		Done:            3,
+		Total:           8,
+		Executed:        3,
+		ElapsedS:        1.5,
+		EventsPath:      "events",
+		ResultsPath:     "results.jsonl",
+		AggregatePath:   "aggregate.csv",
+		AggregateHeader: []string{"point", "n"},
+		AggregateRows:   [][]string{{"s=pcmac/load=80", "2"}},
+		TopologyASCII:   "0....1\n",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		"campaign fig8",
+		"abc123def456",
+		`data-events="events"`,
+		`href="results.jsonl"`,
+		`href="aggregate.csv"`,
+		"s=pcmac/load=80",
+		"0....1",
+		"EventSource",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("dashboard missing %q", want)
+		}
+	}
+
+	// Campaign names are user input; the template must escape them.
+	sb.Reset()
+	if err := Dashboard(&sb, DashboardData{Title: `<script>alert(1)</script>`}); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(sb.String(), "<script>alert(1)</script>") {
+		t.Error("campaign name not HTML-escaped")
+	}
+}
