@@ -8,7 +8,7 @@ GO ?= go
 MICRO_BENCH = BenchmarkSchedulerChurn|BenchmarkTimerChurn|BenchmarkSchedulerFanOut|BenchmarkChannelTransmit|BenchmarkLinkRowLookup|BenchmarkRadioArrivals|BenchmarkEnergyAccounting
 BENCH_DATE ?= $(shell date +%Y-%m-%d)
 
-.PHONY: all build test bench bench-micro bench-json lint lint-golangci campaign-smoke daemon-smoke fmt
+.PHONY: all build test bench bench-micro bench-json lint lint-golangci campaign-smoke daemon-smoke chaos-smoke fmt
 
 all: lint build test
 
@@ -88,6 +88,12 @@ daemon-smoke:
 	curl -sf http://127.0.0.1:8941/campaigns/$$id/results.jsonl > $$tmp/served.jsonl; \
 	cmp $$tmp/cli.jsonl $$tmp/served.jsonl; \
 	echo "daemon-smoke: ok ($$(wc -l < $$tmp/served.jsonl) records served byte-identical)"
+
+# chaos-smoke mirrors CI's chaos-smoke job: SIGKILL campaignd at least
+# three times mid-campaign, resume on the same state dir, and require
+# the served JSONL byte-identical to cmd/campaign's reference output.
+chaos-smoke:
+	@GO="$(GO)" sh scripts/chaos_smoke.sh
 
 fmt:
 	gofmt -w .

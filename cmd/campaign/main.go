@@ -40,6 +40,8 @@ import (
 func main() {
 	var cf cli.CampaignFlags
 	cf.Register(flag.CommandLine)
+	var ef cli.ExecFlags
+	ef.Register(flag.CommandLine)
 	var (
 		emitSpec = flag.Bool("emit-spec", false, "print the campaign as a JSON spec and exit")
 		dryRun   = flag.Bool("dry-run", false, "list the expanded runs without executing")
@@ -95,10 +97,12 @@ func main() {
 			}
 		})
 	}
-	sum, err := serve.RunCampaign(ctx, camp, *out, *resume, runner.ExecOptions{
+	exec := runner.ExecOptions{
 		Workers:  *workers,
 		Progress: runner.MultiProgress(agg, progress),
-	})
+	}
+	ef.Apply(&exec)
+	sum, err := serve.RunCampaign(ctx, camp, *out, *resume, exec)
 	if errors.Is(err, context.Canceled) {
 		fmt.Fprintln(os.Stderr)
 		if *out != "" {
@@ -123,5 +127,12 @@ func main() {
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
+	}
+	// Quarantined runs are typed records in the checkpoint, not aborts;
+	// surface them and exit nonzero so scripts notice incomplete data.
+	if sum.Failed > 0 {
+		fmt.Fprintf(os.Stderr, "campaign: %d runs quarantined as failed (see \"status\":\"failed\" records in %s; rerun with -resume to retry them)\n",
+			sum.Failed, *out)
+		os.Exit(3)
 	}
 }

@@ -36,14 +36,23 @@ import (
 func main() {
 	var cf cli.CampaignFlags
 	cf.Register(flag.CommandLine)
+	var ef cli.ExecFlags
+	ef.Register(flag.CommandLine)
 	var (
-		addr    = flag.String("addr", ":8080", "HTTP listen address")
-		dir     = flag.String("dir", "campaignd-state", "state directory (specs + JSONL checkpoints)")
-		workers = flag.Int("workers", 0, "per-campaign shard count (0 = GOMAXPROCS)")
+		addr      = flag.String("addr", ":8080", "HTTP listen address")
+		dir       = flag.String("dir", "campaignd-state", "state directory (specs + JSONL checkpoints)")
+		workers   = flag.Int("workers", 0, "per-campaign shard count (0 = GOMAXPROCS)")
+		syncEvery = flag.Int("sync-every", 0, "fsync checkpoints every N records (0 = default, negative = only at completion)")
 	)
 	flag.Parse()
 
-	svc, err := serve.NewService(*dir, *workers)
+	svc, err := serve.NewService(*dir, serve.Options{
+		Workers:       *workers,
+		Retries:       ef.Retries,
+		RunTimeout:    ef.RunTimeout,
+		NoRetryFailed: ef.NoRetryFailed,
+		SyncEvery:     *syncEvery,
+	})
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "campaignd: %v\n", err)
 		os.Exit(1)
@@ -78,10 +87,21 @@ func main() {
 	defer stop()
 	select {
 	case <-ctx.Done():
-		// Graceful shutdown: stop accepting requests, then cancel the
-		// campaigns and wait for in-flight runs so every checkpoint is
-		// left a valid resumable prefix.
-		fmt.Fprintln(os.Stderr, "campaignd: shutting down")
+		// Graceful drain: reject new submissions (503, surfaced by
+		// /healthz as "draining"), stop accepting requests, then cancel
+		// the campaigns and wait for in-flight runs so every checkpoint
+		// is left a valid resumable prefix. A second signal skips the
+		// wait and force-exits.
+		fmt.Fprintln(os.Stderr, "campaignd: draining (signal again to force exit)")
+		svc.StartDrain()
+		stop()
+		forced := make(chan os.Signal, 1)
+		signal.Notify(forced, os.Interrupt, syscall.SIGTERM)
+		go func() {
+			<-forced
+			fmt.Fprintln(os.Stderr, "campaignd: forced exit")
+			os.Exit(1)
+		}()
 		shctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 		defer cancel()
 		_ = srv.Shutdown(shctx)

@@ -11,6 +11,7 @@ import (
 	"fmt"
 	"strconv"
 	"strings"
+	"time"
 
 	"repro/internal/runner"
 )
@@ -47,6 +48,30 @@ func (f *CampaignFlags) Register(fs *flag.FlagSet) {
 // Given reports whether a campaign was selected at all (daemons treat
 // the group as optional; cmd/campaign requires it).
 func (f *CampaignFlags) Given() bool { return f.Spec != "" || f.Preset != "" }
+
+// ExecFlags collects the fault-tolerance knobs shared by cmd/campaign
+// and cmd/campaignd: how often a failing run is retried, how long a
+// run may hang before the watchdog quarantines it, and whether resume
+// re-attempts previously quarantined runs.
+type ExecFlags struct {
+	Retries       int
+	RunTimeout    time.Duration
+	NoRetryFailed bool
+}
+
+// Register installs the execution flag group on fs.
+func (f *ExecFlags) Register(fs *flag.FlagSet) {
+	fs.IntVar(&f.Retries, "retries", 0, "re-attempts per run before quarantining it as a failed record")
+	fs.DurationVar(&f.RunTimeout, "run-timeout", 0, "per-run watchdog; a run exceeding it fails the attempt (0 = none)")
+	fs.BoolVar(&f.NoRetryFailed, "no-retry-failed", false, "on resume, keep quarantined runs instead of re-attempting them")
+}
+
+// Apply copies the group onto an ExecOptions.
+func (f *ExecFlags) Apply(opts *runner.ExecOptions) {
+	opts.Retries = f.Retries
+	opts.RunTimeout = f.RunTimeout
+	opts.NoRetryFailed = f.NoRetryFailed
+}
 
 // Build resolves the flag group into a Campaign: -spec or -preset
 // first, then the axis overrides, so any campaign can be re-shaped

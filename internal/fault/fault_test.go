@@ -1,0 +1,155 @@
+package fault
+
+import (
+	"bytes"
+	"errors"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestInjectorDeterministic: decisions are a pure function of
+// (seed, labels) — stable across injector instances — and distinct
+// seeds decorrelate.
+func TestInjectorDeterministic(t *testing.T) {
+	a, b := New(42), New(42)
+	for _, labels := range [][]string{{"run", "s=basic/load=40/rep=0"}, {"write", "17"}, {"x"}} {
+		if a.Uint64(labels...) != b.Uint64(labels...) {
+			t.Fatalf("same seed disagrees on %v", labels)
+		}
+	}
+	c := New(43)
+	diff := 0
+	for i := 0; i < 64; i++ {
+		l := []string{"k", strings.Repeat("x", i)}
+		if a.Uint64(l...) != c.Uint64(l...) {
+			diff++
+		}
+	}
+	if diff < 60 {
+		t.Fatalf("seeds 42 and 43 agree on %d/64 labels — not decorrelated", 64-diff)
+	}
+}
+
+// TestInjectorChance: the empirical rate over many labels tracks p.
+func TestInjectorChance(t *testing.T) {
+	in := New(7)
+	hits := 0
+	const n = 10000
+	for i := 0; i < n; i++ {
+		if in.Chance(0.3, "roll", strings.Repeat("a", i%97), string(rune('A'+i%26)), time.Duration(i).String()) {
+			hits++
+		}
+	}
+	rate := float64(hits) / n
+	if rate < 0.25 || rate > 0.35 {
+		t.Fatalf("Chance(0.3) hit rate = %.3f", rate)
+	}
+}
+
+// TestRunHookTransient: a faulty key panics on attempt 0 only; retries
+// run clean. Permanent faults every attempt.
+func TestRunHookTransient(t *testing.T) {
+	in := New(1)
+	// Find a key the plan panics for.
+	key := ""
+	for _, k := range []string{"a", "b", "c", "d", "e", "f", "g", "h"} {
+		if in.Float64("run", k) < 0.5 {
+			key = k
+			break
+		}
+	}
+	if key == "" {
+		t.Fatal("no panicking key in sample")
+	}
+	hook := in.RunHook(RunFaults{PanicP: 0.5})
+	mustPanic := func(attempt int) (panicked bool) {
+		defer func() { panicked = recover() != nil }()
+		hook(key, attempt)
+		return false
+	}
+	if !mustPanic(0) {
+		t.Fatal("attempt 0 did not panic")
+	}
+	if mustPanic(1) {
+		t.Fatal("transient fault panicked on attempt 1")
+	}
+	perm := in.RunHook(RunFaults{PanicP: 0.5, Permanent: true})
+	both := func(attempt int) (panicked bool) {
+		defer func() { panicked = recover() != nil }()
+		perm(key, attempt)
+		return false
+	}
+	if !both(0) || !both(3) {
+		t.Fatal("permanent fault skipped an attempt")
+	}
+}
+
+// TestWriterFailAfterBytes: the boundary write lands a prefix and
+// errors with ErrNoSpace, like a real full disk.
+func TestWriterFailAfterBytes(t *testing.T) {
+	var buf bytes.Buffer
+	w := New(3).Writer(&buf, WriterFaults{FailAfterBytes: 10})
+	if n, err := w.Write([]byte("12345678")); n != 8 || err != nil {
+		t.Fatalf("first write: n=%d err=%v", n, err)
+	}
+	n, err := w.Write([]byte("abcdef"))
+	if !errors.Is(err, ErrNoSpace) || !errors.Is(err, ErrInjected) {
+		t.Fatalf("overflow write err = %v", err)
+	}
+	if n != 2 || buf.String() != "12345678ab" {
+		t.Fatalf("overflow landed %d bytes, buffer %q", n, buf.String())
+	}
+	if _, err := w.Write([]byte("x")); !errors.Is(err, ErrNoSpace) {
+		t.Fatalf("post-full write err = %v", err)
+	}
+}
+
+// TestWriterShortWrite: short writes are deterministic per sequence
+// number and land exactly half the buffer.
+func TestWriterShortWrite(t *testing.T) {
+	run := func() (string, []int) {
+		var buf bytes.Buffer
+		w := New(9).Writer(&buf, WriterFaults{ShortWriteP: 0.5})
+		var shorts []int
+		for i := 0; i < 20; i++ {
+			n, err := w.Write([]byte("0123456789"))
+			if err != nil {
+				if !errors.Is(err, ErrInjected) || n != 5 {
+					t.Fatalf("write %d: n=%d err=%v", i, n, err)
+				}
+				shorts = append(shorts, i)
+			} else if n != 10 {
+				t.Fatalf("write %d: n=%d", i, n)
+			}
+		}
+		return buf.String(), shorts
+	}
+	s1, shorts := run()
+	s2, _ := run()
+	if s1 != s2 {
+		t.Fatal("short-write pattern not deterministic")
+	}
+	if len(shorts) == 0 || len(shorts) == 20 {
+		t.Fatalf("short writes = %d/20, want a mix", len(shorts))
+	}
+}
+
+// TestWriterSyncClose: sync fails from the Nth call on; close faults
+// after closing the underlying writer.
+func TestWriterSyncClose(t *testing.T) {
+	var buf bytes.Buffer
+	w := New(5).Writer(&buf, WriterFaults{FailSyncAfter: 2, FailClose: true})
+	if err := w.Sync(); err != nil {
+		t.Fatalf("sync 1: %v", err)
+	}
+	if err := w.Sync(); !errors.Is(err, ErrInjected) {
+		t.Fatalf("sync 2: %v", err)
+	}
+	if err := w.Sync(); !errors.Is(err, ErrInjected) {
+		t.Fatalf("sync 3: %v", err)
+	}
+	if err := w.Close(); !errors.Is(err, ErrInjected) {
+		t.Fatalf("close: %v", err)
+	}
+}

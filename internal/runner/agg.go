@@ -50,8 +50,13 @@ func NewAggregate() *Aggregate {
 // into ExecOptions.Progress (alone or via MultiProgress).
 func (a *Aggregate) RunDone(ev RunEvent) { a.Add(ev.Run, ev.Result) }
 
-// Add folds one result in.
+// Add folds one result in. Quarantined failure records carry no
+// measurements and are skipped — a grid point's series aggregate only
+// the runs that produced data.
 func (a *Aggregate) Add(run Run, r Result) {
+	if r.Failed() {
+		return
+	}
 	key := run.PointKey()
 	p, ok := a.points[key]
 	if !ok {

@@ -81,6 +81,52 @@ type Result struct {
 	AliveTimeline     [][2]float64 `json:"alive_timeline"`
 
 	Events uint64 `json:"events"`
+
+	// Status marks non-success outcomes (StatusFailed); empty — and
+	// therefore omitted — on success, so fault-free JSONL is byte-stable
+	// against pre-failure-protocol streams. Error is the terminal
+	// failure (panic text, watchdog timeout, scenario error) and
+	// Attempts how many executions were spent before quarantine. These
+	// trail the struct so successful records keep their historical
+	// byte layout.
+	Status   string `json:"status,omitempty"`
+	Error    string `json:"error,omitempty"`
+	Attempts int    `json:"attempts,omitempty"`
+}
+
+// StatusFailed marks a run quarantined after exhausting its retries.
+const StatusFailed = "failed"
+
+// Failed reports whether the record is a quarantined failure rather
+// than a measurement.
+func (r Result) Failed() bool { return r.Status != "" }
+
+// FailedResult builds the typed failure record for a run that
+// exhausted its retries: the full grid coordinates and seed (so resume
+// can match and re-attempt it) with zero metrics, a status, the
+// terminal error, and the attempt count.
+func FailedResult(r Run, err error, attempts int) Result {
+	o := r.Opts
+	return Result{
+		Key:           r.Key,
+		Variant:       r.Variant,
+		Scheme:        o.Scheme.String(),
+		Traffic:       o.Traffic,
+		Topology:      o.Topology,
+		LoadKbps:      o.OfferedLoadKbps,
+		Nodes:         o.Nodes,
+		SpeedMps:      o.SpeedMax,
+		ShadowingDB:   o.ShadowingSigmaDB,
+		SafetyFactor:  o.SafetyFactor,
+		EnergyProfile: o.EnergyProfile,
+		BatteryJ:      o.BatteryJ,
+		Rep:           r.Rep,
+		Seed:          r.Seed,
+		DurationS:     o.Duration.Seconds(),
+		Status:        StatusFailed,
+		Error:         err.Error(),
+		Attempts:      attempts,
+	}
 }
 
 // ResultOf builds the record for one completed run. Coordinates come
@@ -290,6 +336,21 @@ func ShardOf(key string, shards int) int {
 	return int(h.Sum32() % uint32(shards))
 }
 
+// RetryEvent reports one failed attempt that will be retried. It is
+// delivered from the worker goroutine that ran the attempt — NOT in
+// campaign order and NOT serialized with Progress — because a retry is
+// an observability signal, not part of the deterministic result
+// stream.
+type RetryEvent struct {
+	// Run is the run being retried; Attempt the 1-based attempt that
+	// just failed; Err its failure; Backoff the sleep before the next
+	// attempt.
+	Run     Run
+	Attempt int
+	Err     error
+	Backoff time.Duration
+}
+
 // ExecOptions configures Execute.
 type ExecOptions struct {
 	// Workers bounds concurrent simulations (default GOMAXPROCS). With
@@ -300,7 +361,8 @@ type ExecOptions struct {
 	Out io.Writer
 	// Completed holds checkpointed results by run key; matching runs are
 	// skipped but still reported through Progress so aggregates include
-	// them.
+	// them. Failed (quarantined) entries are re-attempted instead of
+	// skipped unless NoRetryFailed is set.
 	Completed map[string]Result
 	// Progress, if non-nil, receives every emitted run (including
 	// resumed ones) in campaign order, from a single goroutine.
@@ -312,13 +374,69 @@ type ExecOptions struct {
 	// partition is what lets shards run in isolation — the daemon's
 	// worker pool and future multi-machine sharding depend on it.
 	ShardByKey bool
+
+	// RunTimeout is the per-attempt watchdog: an attempt still running
+	// after this long is abandoned (its goroutine parks on a buffered
+	// channel and is garbage once it returns) and counts as a failure.
+	// 0 disables the watchdog — a hung run then hangs its worker.
+	RunTimeout time.Duration
+	// Retries is how many times a failed attempt (panic, watchdog
+	// timeout, scenario error) is re-executed before the run is
+	// quarantined as a typed failed Result. Retries sleep a capped
+	// exponential backoff (RetryBackoff * 2^attempt, capped at
+	// MaxRetryBackoff) first.
+	Retries int
+	// RetryBackoff is the base backoff before the first retry (default
+	// DefaultRetryBackoff).
+	RetryBackoff time.Duration
+	// NoRetryFailed keeps checkpointed failed records as final instead
+	// of re-attempting the quarantined runs on resume.
+	NoRetryFailed bool
+	// OnRetry, if non-nil, observes every failed attempt that will be
+	// retried. Called from worker goroutines, concurrently — see
+	// RetryEvent.
+	OnRetry func(RetryEvent)
+	// RunHook, if non-nil, runs at the start of every attempt, inside
+	// the worker's panic-recovery scope and under the watchdog. It
+	// exists for deterministic fault injection (internal/fault) in
+	// tests; production paths leave it nil.
+	RunHook func(r Run, attempt int)
+}
+
+// Retry backoff bounds: the first retry waits RetryBackoff (default
+// DefaultRetryBackoff), each further retry doubles it, and no wait
+// exceeds MaxRetryBackoff.
+const (
+	DefaultRetryBackoff = 100 * time.Millisecond
+	MaxRetryBackoff     = 30 * time.Second
+)
+
+// backoffFor computes the capped exponential wait before retry n
+// (1-based).
+func backoffFor(base time.Duration, retry int) time.Duration {
+	if base <= 0 {
+		base = DefaultRetryBackoff
+	}
+	d := base
+	for i := 1; i < retry; i++ {
+		d *= 2
+		if d >= MaxRetryBackoff {
+			return MaxRetryBackoff
+		}
+	}
+	if d > MaxRetryBackoff {
+		d = MaxRetryBackoff
+	}
+	return d
 }
 
 // Summary reports what Execute did.
 type Summary struct {
 	// Total is the campaign's run count; Executed ran now; Skipped were
-	// satisfied from the checkpoint.
-	Total, Executed, Skipped int
+	// satisfied from the checkpoint; Failed is how many runs ended
+	// quarantined (their typed failure records counted by Executed or
+	// Skipped like any other).
+	Total, Executed, Skipped, Failed int
 	// Elapsed is the wall-clock execution time.
 	Elapsed time.Duration
 }
@@ -327,9 +445,15 @@ type Summary struct {
 // simulations and execute concurrently; emission (Out, Progress) is
 // re-sequenced into the campaign's deterministic run order, so the
 // JSONL stream is byte-identical whether one worker ran or sixteen,
-// and whether assignment was dynamic or statically sharded. The first
-// simulation or write error is returned after the pool drains;
-// remaining results still execute but are not emitted past the error.
+// and whether assignment was dynamic or statically sharded.
+//
+// Runs are isolated: a panicking or (with RunTimeout) hung simulation
+// never takes down the process — it is retried per Retries with capped
+// exponential backoff and, if still failing, emitted as a typed failed
+// Result (Status/Error/Attempts set, metrics zero) in its campaign
+// position. Only infrastructure errors — checkpoint mismatches and Out
+// write failures — abort execution; the first such error is returned
+// after the pool drains, and nothing is emitted past it.
 //
 // Cancelling ctx stops dispatching new runs; simulations already in
 // flight finish (a single run is not interruptible) and the pool
@@ -359,6 +483,7 @@ func Execute(ctx context.Context, c Campaign, opts ExecOptions) (Summary, error)
 	}
 	slots := make([]slot, len(runs))
 	var pending []Run
+	keptFailed := 0
 	for i, r := range runs {
 		if res, ok := opts.Completed[r.Key]; ok {
 			// Guard against a checkpoint from a different campaign: run
@@ -371,12 +496,22 @@ func Execute(ctx context.Context, c Campaign, opts ExecOptions) (Summary, error)
 			if d := r.Opts.Duration.Seconds(); d > 0 && math.Abs(res.DurationS-d) > 1e-9 {
 				return Summary{}, fmt.Errorf("runner: checkpoint entry %s ran %gs but the campaign wants %gs — the spec changed; use a fresh output file", r.Key, res.DurationS, d)
 			}
+			if res.Failed() && !opts.NoRetryFailed {
+				// A quarantined run is re-attempted on resume: its failed
+				// record stays in the file, the fresh outcome is appended
+				// after it, and ResumeSet keeps the newest per key.
+				pending = append(pending, r)
+				continue
+			}
+			if res.Failed() {
+				keptFailed++
+			}
 			slots[i] = slot{res: res, ready: true}
 		} else {
 			pending = append(pending, r)
 		}
 	}
-	sum := Summary{Total: len(runs), Skipped: len(runs) - len(pending)}
+	sum := Summary{Total: len(runs), Skipped: len(runs) - len(pending), Failed: keptFailed}
 
 	type outcome struct {
 		idx int
@@ -385,12 +520,72 @@ func Execute(ctx context.Context, c Campaign, opts ExecOptions) (Summary, error)
 	}
 	outs := make(chan outcome)
 	var wg sync.WaitGroup
-	execute := func(r Run) outcome {
-		res, err := scenario.Run(r.Opts)
-		if err != nil {
-			return outcome{r.Index, Result{}, fmt.Errorf("runner: run %s: %w", r.Key, err)}
+	// attempt executes one isolated attempt: panics are recovered, and
+	// with a watchdog armed a hung simulation is abandoned rather than
+	// allowed to wedge the worker (the abandoned goroutine's final send
+	// lands in the buffered channel and is collected when it returns).
+	attempt := func(r Run, n int) (Result, error) {
+		type runOut struct {
+			res scenario.Result
+			err error
 		}
-		return outcome{r.Index, ResultOf(r, res), nil}
+		ch := make(chan runOut, 1)
+		go func() {
+			defer func() {
+				if p := recover(); p != nil {
+					ch <- runOut{err: fmt.Errorf("panic: %v", p)}
+				}
+			}()
+			if opts.RunHook != nil {
+				opts.RunHook(r, n)
+			}
+			res, err := scenario.Run(r.Opts)
+			ch <- runOut{res, err}
+		}()
+		var watchdog <-chan time.Time
+		if opts.RunTimeout > 0 {
+			t := time.NewTimer(opts.RunTimeout)
+			defer t.Stop()
+			watchdog = t.C
+		}
+		select {
+		case o := <-ch:
+			if o.err != nil {
+				return Result{}, o.err
+			}
+			return ResultOf(r, o.res), nil
+		case <-watchdog:
+			return Result{}, fmt.Errorf("run timed out after %v", opts.RunTimeout)
+		}
+	}
+	// execute drives a run through its attempts with capped exponential
+	// backoff between them. A run that exhausts its retries does not
+	// abort the campaign: it becomes a typed failed Result that flows
+	// through the same deterministic campaign-order emission, so one
+	// poisoned grid point costs one record, not the process.
+	execute := func(r Run) outcome {
+		var lastErr error
+		for n := 0; n <= opts.Retries; n++ {
+			if n > 0 {
+				select {
+				case <-time.After(backoffFor(opts.RetryBackoff, n)):
+				case <-ctx.Done():
+					// Cancelled mid-retry: surface the cancellation instead
+					// of writing a spurious quarantine record — the resume
+					// will re-attempt with a clean slate.
+					return outcome{r.Index, Result{}, ctx.Err()}
+				}
+			}
+			res, err := attempt(r, n)
+			if err == nil {
+				return outcome{r.Index, res, nil}
+			}
+			lastErr = err
+			if n < opts.Retries && opts.OnRetry != nil {
+				opts.OnRetry(RetryEvent{Run: r, Attempt: n + 1, Err: err, Backoff: backoffFor(opts.RetryBackoff, n+1)})
+			}
+		}
+		return outcome{r.Index, FailedResult(r, lastErr, opts.Retries+1), nil}
 	}
 	if opts.ShardByKey {
 		// Static partition: shard i owns exactly the runs whose key
@@ -488,6 +683,9 @@ func Execute(ctx context.Context, c Campaign, opts ExecOptions) (Summary, error)
 		} else {
 			slots[o.idx] = slot{res: o.res, ready: true, executed: true}
 			sum.Executed++
+			if o.res.Failed() {
+				sum.Failed++
+			}
 		}
 		flush()
 	}

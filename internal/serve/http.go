@@ -73,8 +73,16 @@ func (s *Server) campaign(w http.ResponseWriter, r *http.Request) (*Campaign, bo
 	return c, true
 }
 
+// handleHealthz reports service health: "ok", "degraded" (a campaign
+// lost its checkpoint disk), or "draining" (shutdown under way, served
+// as 503 so load balancers stop routing new submissions here).
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+	h := s.svc.Health()
+	code := http.StatusOK
+	if h.Status == "draining" {
+		code = http.StatusServiceUnavailable
+	}
+	writeJSON(w, code, h)
 }
 
 // handleSubmit accepts a CampaignFile JSON body. The decode is strict:
@@ -94,9 +102,12 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	}
 	c, created, err := s.svc.Submit(cf)
 	if err != nil {
-		if errors.Is(err, ErrBadSpec) {
+		switch {
+		case errors.Is(err, ErrBadSpec):
 			httpError(w, http.StatusBadRequest, "%v", err)
-		} else {
+		case errors.Is(err, ErrDraining):
+			httpError(w, http.StatusServiceUnavailable, "%v", err)
+		default:
 			httpError(w, http.StatusInternalServerError, "%v", err)
 		}
 		return
@@ -236,6 +247,8 @@ func (s *Server) handleDashboard(w http.ResponseWriter, r *http.Request) {
 		Resumed:       st.Resumed,
 		ElapsedS:      st.ElapsedS,
 		Error:         st.Error,
+		Failed:        st.Failed,
+		Degraded:      st.Degraded,
 		EventsPath:    "events",
 		ResultsPath:   "results.jsonl",
 		AggregatePath: "aggregate.csv",

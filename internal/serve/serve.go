@@ -39,6 +39,10 @@ var ErrBadSpec = errors.New("bad campaign spec")
 // ErrNotFound reports an unknown campaign ID.
 var ErrNotFound = errors.New("no such campaign")
 
+// ErrDraining reports a submission rejected because the daemon is
+// shutting down; the HTTP layer maps it to 503.
+var ErrDraining = errors.New("service is draining")
+
 // RunCampaign executes c against its JSONL checkpoint at path: repair
 // a torn tail left by a crash, load already-completed runs, append the
 // remainder in deterministic campaign order. The daemon (one state dir
@@ -50,8 +54,21 @@ var ErrNotFound = errors.New("no such campaign")
 // An empty path runs without a checkpoint; resume=false truncates any
 // existing file instead of resuming. Cancelling ctx stops dispatching,
 // lets in-flight runs finish, and leaves the file a valid resumable
-// prefix.
+// prefix. The checkpoint is fsynced every DefaultSyncEvery records and
+// at completion, and Sync/Close failures are returned, never silently
+// dropped.
 func RunCampaign(ctx context.Context, c runner.Campaign, path string, resume bool, opts runner.ExecOptions) (runner.Summary, error) {
+	return RunCampaignDurable(ctx, c, path, resume, opts, CheckpointOptions{})
+}
+
+// RunCampaignDurable is RunCampaign with explicit durability policy:
+// fsync cadence, the degrade-on-disk-failure callback, and the
+// checkpoint-open seam. With a non-nil OnDegrade a failing disk —
+// unopenable file, write error, sync error, close error — demotes the
+// campaign to in-memory streaming (Progress keeps emitting, the
+// callback surfaces the reason) instead of aborting; with a nil one
+// the first durability error is the campaign's error.
+func RunCampaignDurable(ctx context.Context, c runner.Campaign, path string, resume bool, opts runner.ExecOptions, ckpt CheckpointOptions) (sum runner.Summary, err error) {
 	if path != "" {
 		if resume {
 			if err := runner.RepairCheckpoint(path); err != nil {
@@ -69,12 +86,27 @@ func RunCampaign(ctx context.Context, c runner.Campaign, path string, resume boo
 		} else {
 			mode |= os.O_TRUNC
 		}
-		f, err := os.OpenFile(path, mode, 0o644)
-		if err != nil {
-			return runner.Summary{}, fmt.Errorf("serve: %w", err)
+		open := ckpt.Open
+		if open == nil {
+			open = func(p string, flag int, perm os.FileMode) (CheckpointFile, error) {
+				return os.OpenFile(p, flag, perm)
+			}
 		}
-		defer f.Close()
-		opts.Out = f
+		f, ferr := open(path, mode, 0o644)
+		switch {
+		case ferr != nil && ckpt.OnDegrade != nil:
+			ckpt.OnDegrade(fmt.Errorf("serve: checkpoint open: %w", ferr))
+		case ferr != nil:
+			return runner.Summary{}, fmt.Errorf("serve: %w", ferr)
+		default:
+			w := newCheckpointWriter(f, ckpt.SyncEvery, ckpt.OnDegrade)
+			defer func() {
+				if cerr := w.Close(); cerr != nil && err == nil {
+					err = cerr
+				}
+			}()
+			opts.Out = w
+		}
 	}
 	return runner.Execute(ctx, c, opts)
 }
@@ -95,27 +127,51 @@ func SpecID(cf runner.CampaignFile) string {
 	return hex.EncodeToString(sum[:])[:12]
 }
 
+// Options configures a Service's execution and fault-tolerance
+// policy. The zero value is a working default.
+type Options struct {
+	// Workers is the per-campaign shard count (0 = GOMAXPROCS).
+	Workers int
+	// Retries / RunTimeout / NoRetryFailed are the per-run
+	// fault-tolerance knobs, passed through to runner.ExecOptions: a
+	// panicking or hung run is retried with capped exponential backoff
+	// and quarantined as a typed failed record, never allowed to kill
+	// the daemon.
+	Retries       int
+	RunTimeout    time.Duration
+	NoRetryFailed bool
+	// SyncEvery is the checkpoint fsync cadence in records (0 =
+	// DefaultSyncEvery, negative = only at completion).
+	SyncEvery int
+	// RunHook injects per-attempt faults (internal/fault) in chaos
+	// tests; production daemons leave it nil.
+	RunHook func(key string, attempt int)
+	// OpenCheckpoint replaces os.OpenFile for results.jsonl files
+	// (fault-injection seam for chaos tests).
+	OpenCheckpoint func(path string, flag int, perm os.FileMode) (CheckpointFile, error)
+}
+
 // Service owns the campaigns of one daemon: submission, sharded
 // execution with checkpoints under its state dir, cancellation, and
 // restart recovery (NewService re-launches every persisted campaign;
 // finished ones settle instantly from their checkpoints).
 type Service struct {
-	dir     string
-	workers int
+	dir  string
+	opts Options
 
 	ctx    context.Context
 	cancel context.CancelFunc
 	wg     sync.WaitGroup
 
-	mu    sync.Mutex
-	camps map[string]*Campaign
-	order []string
+	mu       sync.Mutex
+	camps    map[string]*Campaign
+	order    []string
+	draining bool
 }
 
 // NewService opens (or creates) the state directory and resumes every
-// campaign persisted in it. workers is the per-campaign shard count
-// (0 = GOMAXPROCS).
-func NewService(dir string, workers int) (*Service, error) {
+// campaign persisted in it.
+func NewService(dir string, opts Options) (*Service, error) {
 	if dir == "" {
 		return nil, fmt.Errorf("serve: state dir required")
 	}
@@ -124,11 +180,11 @@ func NewService(dir string, workers int) (*Service, error) {
 	}
 	ctx, cancel := context.WithCancel(context.Background())
 	s := &Service{
-		dir:     dir,
-		workers: workers,
-		ctx:     ctx,
-		cancel:  cancel,
-		camps:   make(map[string]*Campaign),
+		dir:    dir,
+		opts:   opts,
+		ctx:    ctx,
+		cancel: cancel,
+		camps:  make(map[string]*Campaign),
 	}
 	if err := s.resumePersisted(); err != nil {
 		cancel()
@@ -171,7 +227,9 @@ func (s *Service) resumePersisted() error {
 
 // Submit validates and launches a campaign; created reports whether it
 // was new (false: an identical spec is already known and the existing
-// campaign is returned — submission is idempotent).
+// campaign is returned — submission is idempotent). A draining service
+// rejects new specs with ErrDraining but still reattaches to known
+// ones.
 func (s *Service) Submit(cf runner.CampaignFile) (c *Campaign, created bool, err error) {
 	cf.Version = runner.SpecVersion
 	camp, err := cf.Campaign()
@@ -189,6 +247,9 @@ func (s *Service) Submit(cf runner.CampaignFile) (c *Campaign, created bool, err
 	if existing, ok := s.camps[id]; ok {
 		return existing, false, nil
 	}
+	if s.draining {
+		return nil, false, ErrDraining
+	}
 	cdir := filepath.Join(s.dir, id)
 	if err := os.MkdirAll(cdir, 0o755); err != nil {
 		return nil, false, fmt.Errorf("serve: %w", err)
@@ -197,8 +258,10 @@ func (s *Service) Submit(cf runner.CampaignFile) (c *Campaign, created bool, err
 	if err != nil {
 		return nil, false, fmt.Errorf("serve: %w", err)
 	}
-	if err := os.WriteFile(filepath.Join(cdir, "spec.json"), append(spec, '\n'), 0o644); err != nil {
-		return nil, false, fmt.Errorf("serve: %w", err)
+	// Atomic write: a daemon killed mid-submit must never leave a
+	// torn spec.json that would poison restart recovery.
+	if err := WriteFileAtomic(filepath.Join(cdir, "spec.json"), append(spec, '\n'), 0o644); err != nil {
+		return nil, false, err
 	}
 	c = &Campaign{
 		id:      id,
@@ -222,15 +285,28 @@ func (s *Service) Submit(cf runner.CampaignFile) (c *Campaign, created bool, err
 func (s *Service) launch(c *Campaign) {
 	ctx, cancel := context.WithCancel(s.ctx)
 	c.cancel = cancel
+	exec := runner.ExecOptions{
+		Workers:       s.opts.Workers,
+		ShardByKey:    true,
+		Progress:      c,
+		Retries:       s.opts.Retries,
+		RunTimeout:    s.opts.RunTimeout,
+		NoRetryFailed: s.opts.NoRetryFailed,
+		OnRetry:       c.onRetry,
+	}
+	if hook := s.opts.RunHook; hook != nil {
+		exec.RunHook = func(r runner.Run, attempt int) { hook(r.Key, attempt) }
+	}
+	ckpt := CheckpointOptions{
+		SyncEvery: s.opts.SyncEvery,
+		OnDegrade: c.onDegrade,
+		Open:      s.opts.OpenCheckpoint,
+	}
 	s.wg.Add(1)
 	go func() {
 		defer s.wg.Done()
 		defer cancel()
-		sum, err := RunCampaign(ctx, c.camp, c.ResultsPath(), true, runner.ExecOptions{
-			Workers:    s.workers,
-			ShardByKey: true,
-			Progress:   c,
-		})
+		sum, err := RunCampaignDurable(ctx, c.camp, c.ResultsPath(), true, exec, ckpt)
 		c.finish(sum, err)
 	}()
 }
@@ -268,6 +344,70 @@ func (s *Service) Cancel(id string) (*Campaign, error) {
 	return c, nil
 }
 
+// StartDrain flips the service into drain mode: new spec submissions
+// are rejected with ErrDraining (known specs still reattach), the
+// health endpoint reports draining, and running campaigns keep going
+// until Close. Idempotent. The daemon calls it on SIGTERM so an
+// orchestrator's rolling restart stops feeding a dying instance before
+// its checkpoints settle.
+func (s *Service) StartDrain() {
+	s.mu.Lock()
+	s.draining = true
+	s.mu.Unlock()
+}
+
+// Draining reports whether StartDrain was called.
+func (s *Service) Draining() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.draining
+}
+
+// Health is the service-level health snapshot served by /healthz.
+type Health struct {
+	// Status is "ok", "degraded" (≥1 campaign lost its checkpoint disk
+	// and is streaming in-memory), or "draining" (shutdown under way).
+	Status string `json:"status"`
+	// Campaigns counts all known campaigns; Running the currently
+	// executing ones.
+	Campaigns int `json:"campaigns"`
+	Running   int `json:"running"`
+	// FailedRuns totals quarantined runs across campaigns; Degraded
+	// counts campaigns in degraded (checkpoint-less) mode.
+	FailedRuns int `json:"failed_runs,omitempty"`
+	Degraded   int `json:"degraded,omitempty"`
+}
+
+// Health snapshots service health across all campaigns.
+func (s *Service) Health() Health {
+	s.mu.Lock()
+	camps := make([]*Campaign, 0, len(s.order))
+	for _, id := range s.order {
+		camps = append(camps, s.camps[id])
+	}
+	draining := s.draining
+	s.mu.Unlock()
+
+	h := Health{Status: "ok", Campaigns: len(camps)}
+	for _, c := range camps {
+		st := c.Status()
+		if st.State == StateRunning {
+			h.Running++
+		}
+		h.FailedRuns += st.Failed
+		if st.Degraded {
+			h.Degraded++
+		}
+	}
+	if h.Degraded > 0 {
+		h.Status = "degraded"
+	}
+	if draining {
+		h.Status = "draining"
+	}
+	return h
+}
+
 // Close cancels every campaign and waits for their executors to drain,
 // leaving all checkpoints valid. The graceful-shutdown path of the
 // daemon.
@@ -289,15 +429,19 @@ type Campaign struct {
 	done   chan struct{}
 	hub    *hub
 
-	mu       sync.Mutex
-	state    string
-	doneRuns int
-	executed int
-	resumed  int
-	errMsg   string
-	started  time.Time
-	elapsed  time.Duration
-	agg      *runner.Aggregate
+	mu          sync.Mutex
+	state       string
+	doneRuns    int
+	executed    int
+	resumed     int
+	failed      int
+	retried     int
+	degraded    bool
+	degradedErr string
+	errMsg      string
+	started     time.Time
+	elapsed     time.Duration
+	agg         *runner.Aggregate
 }
 
 // Status is the JSON status of one campaign.
@@ -311,9 +455,18 @@ type Status struct {
 	Resumed  int     `json:"resumed"`
 	ElapsedS float64 `json:"elapsed_s"`
 	Error    string  `json:"error,omitempty"`
+	// Failed counts quarantined runs (typed failure records in the
+	// stream); Retried counts failed attempts that were re-executed.
+	Failed  int `json:"failed,omitempty"`
+	Retried int `json:"retried,omitempty"`
+	// Degraded reports checkpoint-less in-memory streaming after a
+	// disk failure; DegradedError is the failure that caused it.
+	Degraded      bool   `json:"degraded,omitempty"`
+	DegradedError string `json:"degraded_error,omitempty"`
 }
 
-// resultEvent is the payload of an SSE "result" event.
+// resultEvent is the payload of an SSE "result" event — and of a
+// "run_failed" event, whose Result is the typed quarantine record.
 type resultEvent struct {
 	Done    int           `json:"done"`
 	Total   int           `json:"total"`
@@ -321,11 +474,30 @@ type resultEvent struct {
 	Result  runner.Result `json:"result"`
 }
 
+// retryEvent is the payload of an SSE "run_retried" event. Retries are
+// reported from worker goroutines as they happen, so — unlike result
+// events — their interleaving with the ordered stream is timing-
+// dependent.
+type retryEvent struct {
+	Key      string  `json:"key"`
+	Attempt  int     `json:"attempt"`
+	Error    string  `json:"error"`
+	BackoffS float64 `json:"backoff_s"`
+}
+
+// degradedEvent is the payload of an SSE "degraded" event.
+type degradedEvent struct {
+	Error string `json:"error"`
+}
+
 // doneEvent is the payload of the final SSE "done" event.
 type doneEvent struct {
 	State    string  `json:"state"`
 	Executed int     `json:"executed"`
 	Resumed  int     `json:"resumed"`
+	Failed   int     `json:"failed,omitempty"`
+	Retried  int     `json:"retried,omitempty"`
+	Degraded bool    `json:"degraded,omitempty"`
 	ElapsedS float64 `json:"elapsed_s"`
 	Error    string  `json:"error,omitempty"`
 }
@@ -358,15 +530,19 @@ func (c *Campaign) Status() Status {
 		elapsed = time.Since(c.started)
 	}
 	return Status{
-		ID:       c.id,
-		Name:     c.camp.Name,
-		State:    c.state,
-		Done:     c.doneRuns,
-		Total:    c.total,
-		Executed: c.executed,
-		Resumed:  c.resumed,
-		ElapsedS: elapsed.Seconds(),
-		Error:    c.errMsg,
+		ID:            c.id,
+		Name:          c.camp.Name,
+		State:         c.state,
+		Done:          c.doneRuns,
+		Total:         c.total,
+		Executed:      c.executed,
+		Resumed:       c.resumed,
+		ElapsedS:      elapsed.Seconds(),
+		Error:         c.errMsg,
+		Failed:        c.failed,
+		Retried:       c.retried,
+		Degraded:      c.degraded,
+		DegradedError: c.degradedErr,
 	}
 }
 
@@ -401,7 +577,9 @@ func (c *Campaign) AggregatePoints() []*runner.Point {
 
 // RunDone implements runner.Progress: it is called in campaign order
 // from the executor's emission goroutine, folds the result into the
-// aggregate and publishes the matching SSE events.
+// aggregate and publishes the matching SSE events. Quarantined runs
+// publish "run_failed" instead of "result" — failure is a first-class
+// frame in the stream, not a dropped position.
 func (c *Campaign) RunDone(ev runner.RunEvent) {
 	c.mu.Lock()
 	c.doneRuns = ev.Done
@@ -409,6 +587,9 @@ func (c *Campaign) RunDone(ev runner.RunEvent) {
 		c.resumed++
 	} else {
 		c.executed++
+	}
+	if ev.Result.Failed() {
+		c.failed++
 	}
 	c.agg.Add(ev.Run, ev.Result)
 	// Publish a refreshed aggregate table roughly every decile of a
@@ -423,9 +604,44 @@ func (c *Campaign) RunDone(ev runner.RunEvent) {
 	}
 	c.mu.Unlock()
 
-	c.hub.publish("result", resultEvent{Done: ev.Done, Total: ev.Total, Resumed: ev.Resumed, Result: ev.Result})
+	typ := "result"
+	if ev.Result.Failed() {
+		typ = "run_failed"
+	}
+	c.hub.publish(typ, resultEvent{Done: ev.Done, Total: ev.Total, Resumed: ev.Resumed, Result: ev.Result})
 	if publishAgg {
 		c.hub.publish("aggregate", aggregateEvent{Done: ev.Done, Total: ev.Total, CSV: csv})
+	}
+}
+
+// onRetry observes a failed attempt scheduled for re-execution
+// (runner.ExecOptions.OnRetry): count it and surface it as a
+// "run_retried" SSE event. Called from worker goroutines; the hub
+// serializes publication.
+func (c *Campaign) onRetry(ev runner.RetryEvent) {
+	c.mu.Lock()
+	c.retried++
+	c.mu.Unlock()
+	c.hub.publish("run_retried", retryEvent{
+		Key:      ev.Run.Key,
+		Attempt:  ev.Attempt,
+		Error:    ev.Err.Error(),
+		BackoffS: ev.Backoff.Seconds(),
+	})
+}
+
+// onDegrade marks the campaign degraded after a checkpoint-disk
+// failure (CheckpointOptions.OnDegrade): execution continues with
+// in-memory streaming only, and the state is surfaced in the status
+// and as a "degraded" SSE event instead of crashing the daemon.
+func (c *Campaign) onDegrade(err error) {
+	c.mu.Lock()
+	already := c.degraded
+	c.degraded = true
+	c.degradedErr = err.Error()
+	c.mu.Unlock()
+	if !already {
+		c.hub.publish("degraded", degradedEvent{Error: err.Error()})
 	}
 }
 
@@ -445,12 +661,17 @@ func (c *Campaign) finish(sum runner.Summary, err error) {
 	st := c.state
 	doneRuns, total := c.doneRuns, c.total
 	executed, resumed := c.executed, c.resumed
+	failed, retried, degraded := c.failed, c.retried, c.degraded
 	errMsg := c.errMsg
 	csv, _ := c.aggregateCSVLocked()
 	c.mu.Unlock()
 
 	c.hub.publish("aggregate", aggregateEvent{Done: doneRuns, Total: total, CSV: csv})
-	c.hub.publish("done", doneEvent{State: st, Executed: executed, Resumed: resumed, ElapsedS: sum.Elapsed.Seconds(), Error: errMsg})
+	c.hub.publish("done", doneEvent{
+		State: st, Executed: executed, Resumed: resumed,
+		Failed: failed, Retried: retried, Degraded: degraded,
+		ElapsedS: sum.Elapsed.Seconds(), Error: errMsg,
+	})
 	c.hub.close()
 	close(c.done)
 }

@@ -86,7 +86,7 @@ func TestSpecID(t *testing.T) {
 // fetch the JSONL (must match cmd/campaign's output byte-for-byte),
 // the aggregate CSV and the dashboard; plus the 400/404 error surface.
 func TestHTTPSubmitPollFetch(t *testing.T) {
-	svc, err := NewService(t.TempDir(), 2)
+	svc, err := NewService(t.TempDir(), Options{Workers: 2})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -253,7 +253,7 @@ func parseSSE(t *testing.T, body string) []sseEvent {
 // after completion replays the identical sequence a live subscriber
 // saw.
 func TestHTTPSSEOrdering(t *testing.T) {
-	svc, err := NewService(t.TempDir(), 4)
+	svc, err := NewService(t.TempDir(), Options{Workers: 4})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -349,7 +349,7 @@ func TestDaemonRestartResume(t *testing.T) {
 
 	// First daemon: submit, then shut down immediately — in-flight runs
 	// finish, the rest never dispatch, the checkpoint stays a prefix.
-	svc1, err := NewService(dir, 1)
+	svc1, err := NewService(dir, Options{Workers: 1})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -373,7 +373,7 @@ func TestDaemonRestartResume(t *testing.T) {
 
 	// Second daemon on the same dir: the persisted campaign resumes on
 	// its own (no re-submission) and completes.
-	svc2, err := NewService(dir, 3)
+	svc2, err := NewService(dir, Options{Workers: 3})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -25,6 +25,10 @@ type DashboardData struct {
 	Resumed  int
 	ElapsedS float64
 	Error    string
+	// Failed counts quarantined runs; Degraded flags checkpoint-less
+	// in-memory streaming after a disk failure.
+	Failed   int
+	Degraded bool
 	// EventsPath/ResultsPath/AggregatePath are the sibling endpoints,
 	// relative to the dashboard URL.
 	EventsPath    string
@@ -63,6 +67,8 @@ a { color: #357; }
  · runs: <span id="done">{{.Done}}</span>/<span id="total">{{.Total}}</span>
  · executed {{.Executed}}, resumed {{.Resumed}}
  · elapsed {{printf "%.1f" .ElapsedS}}s
+{{if .Failed}} · <span class="err">{{.Failed}} failed</span>{{end}}
+{{if .Degraded}} · <span class="err">degraded (checkpoint lost)</span>{{end}}
 {{if .Error}} · <span class="err">{{.Error}}</span>{{end}}</p>
 <div id="bar"><div id="fill"></div></div>
 <p><a href="{{.ResultsPath}}">results.jsonl</a> · <a href="{{.AggregatePath}}">aggregate.csv</a></p>
