@@ -8,7 +8,8 @@
 //
 // prints one row per (protocol, load) with throughput in kbps exactly
 // as Figure 8 plots it. Benchmarks use shortened horizons so the whole
-// suite stays laptop-scale; cmd/sweep runs the full-length versions.
+// suite stays laptop-scale; the fig8/fig9 campaign presets run the
+// full-length versions.
 package repro
 
 import (

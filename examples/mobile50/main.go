@@ -38,5 +38,5 @@ func main() {
 			s, res.ThroughputKbps, res.AvgDelayMs, res.PDR,
 			res.RadiatedEnergyJ+res.CtrlRadiatedEnergyJ, res.JainFairness)
 	}
-	fmt.Println("\nFor the full Figure 8/9 sweeps run: go run ./cmd/sweep -fig all")
+	fmt.Println("\nFor the full Figure 8/9 sweeps run: go run ./cmd/campaign -preset fig8")
 }

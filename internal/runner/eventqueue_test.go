@@ -1,0 +1,199 @@
+package runner
+
+import (
+	"bytes"
+	"context"
+	"strings"
+	"testing"
+
+	"repro/internal/mac"
+	"repro/internal/scenario"
+	"repro/internal/sim"
+)
+
+// TestExecuteQueueKindsIdentical is the campaign-level determinism
+// proof for the scheduler's pluggable event queue: the same campaign
+// executed under the calendar queue (the default) and the reference
+// binary heap must emit byte-identical JSONL. The mobile case drives
+// heavy timer churn through the queue; the static case covers the
+// paper's fixed topology with PCMAC's second scheduler clock.
+func TestExecuteQueueKindsIdentical(t *testing.T) {
+	mobile := scenario.Options{
+		Duration: 2 * sim.Second,
+		Warmup:   sim.Duration(sim.Second / 2),
+		SpeedMin: 20,
+		SpeedMax: 20,
+	}
+	cases := []struct {
+		name string
+		c    Campaign
+	}{
+		{
+			name: "mobile",
+			c: Campaign{
+				Name:      "queue-mobile",
+				Base:      withNodes(mobile, 30),
+				Schemes:   []mac.Scheme{mac.Basic, mac.PCMAC},
+				LoadsKbps: []float64{300},
+				Reps:      1,
+			},
+		},
+		{
+			name: "static",
+			c:    tinyCampaign(),
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var calendar bytes.Buffer
+			if _, err := Execute(context.Background(), tc.c, ExecOptions{Workers: 2, Out: &calendar}); err != nil {
+				t.Fatal(err)
+			}
+			if calendar.Len() == 0 {
+				t.Fatal("campaign emitted nothing")
+			}
+			heapCamp := tc.c
+			heapCamp.Base.EventQueue = string(sim.QueueHeap)
+			var heap bytes.Buffer
+			if _, err := Execute(context.Background(), heapCamp, ExecOptions{Workers: 2, Out: &heap}); err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(calendar.Bytes(), heap.Bytes()) {
+				t.Fatalf("calendar JSONL differs from heap:\n--- calendar ---\n%s--- heap ---\n%s",
+					calendar.String(), heap.String())
+			}
+		})
+	}
+}
+
+// TestExecuteResumeAcrossQueueKinds checkpoints half a campaign under
+// the calendar queue and resumes it under the heap: the queue kind is
+// not part of the run key or the checkpoint guard, and the re-executed
+// half must be byte-identical to what the original queue would have
+// written.
+func TestExecuteResumeAcrossQueueKinds(t *testing.T) {
+	var full bytes.Buffer
+	if _, err := Execute(context.Background(), tinyCampaign(), ExecOptions{Out: &full}); err != nil {
+		t.Fatal(err)
+	}
+	results, err := LoadResults(bytes.NewReader(full.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 8 {
+		t.Fatalf("results = %d, want 8", len(results))
+	}
+
+	resumed := tinyCampaign()
+	resumed.Base.EventQueue = string(sim.QueueHeap)
+	var rest bytes.Buffer
+	sum, err := Execute(context.Background(), resumed, ExecOptions{
+		Out:       &rest,
+		Completed: ResumeSet(results[:4]),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum.Skipped != 4 || sum.Executed != 4 {
+		t.Fatalf("summary = %+v, want 4 skipped / 4 executed", sum)
+	}
+
+	// The full calendar output is 8 lines; the heap-resumed tail must
+	// reproduce the last 4 of them byte for byte.
+	lines := bytes.SplitAfter(full.Bytes(), []byte("\n"))
+	tail := bytes.Join(lines[4:], nil)
+	if !bytes.Equal(tail, rest.Bytes()) {
+		t.Fatalf("heap-resumed tail differs from calendar original:\n--- calendar ---\n%s--- heap ---\n%s",
+			tail, rest.String())
+	}
+}
+
+// TestEventQueueAxis pins the event-queue sweep dimension: the q=
+// segment appears only when swept, in the final key position, the
+// values land in the expanded options, and a bogus kind is a spec
+// error at expansion time.
+func TestEventQueueAxis(t *testing.T) {
+	c := Campaign{
+		Base:        tinyBase(),
+		Schemes:     []mac.Scheme{mac.PCMAC},
+		LoadsKbps:   []float64{40},
+		EventQueues: []string{"calendar", "heap"},
+	}
+	runs, err := c.Runs()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(runs) != 2 {
+		t.Fatalf("runs = %d, want 2", len(runs))
+	}
+	if runs[0].Key != "s=pcmac/load=40/q=calendar/rep=0" {
+		t.Fatalf("key = %q", runs[0].Key)
+	}
+	if runs[1].Key != "s=pcmac/load=40/q=heap/rep=0" {
+		t.Fatalf("key = %q", runs[1].Key)
+	}
+	if runs[0].Opts.EventQueue != "calendar" || runs[1].Opts.EventQueue != "heap" {
+		t.Fatalf("opts queue kinds = %q, %q", runs[0].Opts.EventQueue, runs[1].Opts.EventQueue)
+	}
+
+	// Unswept: a base-level kind changes no keys, so existing
+	// checkpoints keep resolving when a campaign is re-run under the
+	// other queue.
+	base := tinyBase()
+	base.EventQueue = string(sim.QueueHeap)
+	plain := Campaign{Base: base, Schemes: []mac.Scheme{mac.PCMAC}, LoadsKbps: []float64{40}}
+	runs, err = plain.Runs()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if runs[0].Key != "s=pcmac/load=40/rep=0" {
+		t.Fatalf("unswept key = %q", runs[0].Key)
+	}
+	if strings.Contains(runs[0].Key, "q=") {
+		t.Fatalf("unswept key grew a queue segment: %q", runs[0].Key)
+	}
+	if runs[0].Opts.EventQueue != string(sim.QueueHeap) {
+		t.Fatalf("unswept opts lost base queue kind: %+v", runs[0].Opts)
+	}
+
+	bad := Campaign{Base: tinyBase(), Schemes: []mac.Scheme{mac.PCMAC}, LoadsKbps: []float64{40}, EventQueues: []string{"fifo"}}
+	if _, err := bad.Runs(); err == nil {
+		t.Fatal("unknown event queue accepted")
+	}
+}
+
+// TestEventQueueSpecRoundTrip requires the queue axis (and a
+// base-level kind) to survive the JSON spec form.
+func TestEventQueueSpecRoundTrip(t *testing.T) {
+	c := Campaign{
+		Name:        "rt",
+		Base:        tinyBase(),
+		Schemes:     []mac.Scheme{mac.Basic},
+		LoadsKbps:   []float64{40},
+		EventQueues: []string{"calendar", "heap"},
+	}
+	c.Base.EventQueue = string(sim.QueueHeap)
+	back, err := c.File().Campaign()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back.EventQueues) != 2 || back.EventQueues[1] != "heap" {
+		t.Fatalf("round trip lost the queue axis: %+v", back)
+	}
+	if back.Base.EventQueue != string(sim.QueueHeap) {
+		t.Fatalf("round trip lost the base queue kind: %q", back.Base.EventQueue)
+	}
+	a, err := c.Runs()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := back.Runs()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a {
+		if a[i].Key != b[i].Key || a[i].Seed != b[i].Seed {
+			t.Fatalf("run %d differs after round trip: %v vs %v", i, a[i], b[i])
+		}
+	}
+}

@@ -267,7 +267,8 @@ func ablation(kind string, base scenario.Options, loads []float64) (Campaign, er
 }
 
 // Ablation exposes the PCMAC ablation grids with an explicit base and
-// seed list; cmd/sweep builds its -ablation mode from this.
+// seed list, for callers that reuse the grids outside the preset
+// defaults (the ablation-* presets wrap the same tables).
 func Ablation(kind string, base scenario.Options, loads []float64, seeds []int64) (Campaign, error) {
 	c, err := ablation(kind, base, loads)
 	if err != nil {

@@ -50,6 +50,7 @@ type FileConfig struct {
 	DisableCtrlChannel bool         `json:"disable_ctrl_channel,omitempty"`
 	DisableThreeWay    bool         `json:"disable_three_way,omitempty"`
 	ShadowingSigmaDB   float64      `json:"shadowing_sigma_db,omitempty"`
+	EventQueue         string       `json:"event_queue,omitempty"`
 	EnergyProfile      string       `json:"energy_profile,omitempty"`
 	BatteryJ           float64      `json:"battery_j,omitempty"`
 	FlowRateSpreadPct  float64      `json:"flow_rate_spread_pct,omitempty"`
@@ -89,6 +90,7 @@ func (fc FileConfig) Options() (Options, error) {
 		DisableCtrlChannel: fc.DisableCtrlChannel,
 		DisableThreeWay:    fc.DisableThreeWay,
 		ShadowingSigmaDB:   fc.ShadowingSigmaDB,
+		EventQueue:         fc.EventQueue,
 		EnergyProfile:      fc.EnergyProfile,
 		BatteryJ:           fc.BatteryJ,
 		FlowRateSpreadPct:  fc.FlowRateSpreadPct,
@@ -144,6 +146,9 @@ func validate(o Options) error {
 	}
 	if _, err := energy.ParseProfile(o.EnergyProfile); err != nil {
 		return err
+	}
+	if _, err := sim.ParseQueueKind(o.EventQueue); err != nil {
+		return fmt.Errorf("scenario: %w", err)
 	}
 	if err := CheckTopology(o.Topology); err != nil {
 		return err
@@ -217,6 +222,7 @@ func ToFileConfig(o Options) FileConfig {
 		DisableCtrlChannel: o.DisableCtrlChannel,
 		DisableThreeWay:    o.DisableThreeWay,
 		ShadowingSigmaDB:   o.ShadowingSigmaDB,
+		EventQueue:         o.EventQueue,
 		EnergyProfile:      o.EnergyProfile,
 		BatteryJ:           o.BatteryJ,
 		FlowRateSpreadPct:  o.FlowRateSpreadPct,

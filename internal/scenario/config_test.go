@@ -30,6 +30,7 @@ func TestConfigRoundTrip(t *testing.T) {
 		HistoryExpiry:     3 * sim.Second,
 		CtrlBandwidthBps:  500e3,
 		ShadowingSigmaDB:  4,
+		EventQueue:        "heap",
 		FlowRateSpreadPct: 10,
 		Static:            []geom.Point{{X: 1, Y: 2}, {X: 3, Y: 4}},
 		FlowPairs:         [][2]packet.NodeID{{0, 1}},
@@ -57,6 +58,9 @@ func TestConfigRoundTrip(t *testing.T) {
 	}
 	if got.ShadowingSigmaDB != 4 {
 		t.Fatalf("shadowing = %v", got.ShadowingSigmaDB)
+	}
+	if got.EventQueue != "heap" {
+		t.Fatalf("event queue = %q", got.EventQueue)
 	}
 }
 
@@ -104,6 +108,7 @@ func TestConfigValidation(t *testing.T) {
 		{Scheme: "pcmac", ResponseBytes: -1},
 		{Scheme: "pcmac", Nodes: 3, Flows: 12},
 		{Scheme: "pcmac", Flows: 5000}, // default 50 nodes: 2450 pairs
+		{Scheme: "pcmac", EventQueue: "fifo"},
 	}
 	for i, fc := range cases {
 		if _, err := fc.Options(); err == nil {

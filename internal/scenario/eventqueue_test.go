@@ -1,0 +1,71 @@
+package scenario
+
+import (
+	"testing"
+
+	"repro/internal/mac"
+	"repro/internal/sim"
+)
+
+// calendarVsHeap diffs a whole simulation between the calendar-queue
+// scheduler (the default) and the reference binary heap: the queue swap
+// must be invisible in every metric. Because the kernel's (time, seq)
+// order is total, any divergence is a queue ordering bug, not a
+// tolerance question.
+func calendarVsHeap(t *testing.T, name string, o Options) {
+	t.Helper()
+	o.EventQueue = string(sim.QueueCalendar)
+	calendar, err := Run(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	o.EventQueue = string(sim.QueueHeap)
+	heap, err := Run(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if calendar.Events == 0 {
+		t.Fatalf("%s: empty run proves nothing", name)
+	}
+	equalResults(t, name, calendar, heap)
+}
+
+// TestEventQueueSoundMobile is the calendar queue's determinism proof on
+// the timer-heavy mobile workload: fast waypoint motion, constant MAC
+// churn, same-instant event ties at every CTS/ACK exchange.
+func TestEventQueueSoundMobile(t *testing.T) {
+	calendarVsHeap(t, "queue-mobile", linkCacheOpts(0))
+}
+
+// TestEventQueueSoundFading adds log-normal fading: the fade RNG draws
+// are consumed in event order, so a single out-of-order pop desyncs the
+// fade streams and every subsequent delivery.
+func TestEventQueueSoundFading(t *testing.T) {
+	calendarVsHeap(t, "queue-fading", linkCacheOpts(4.0))
+}
+
+// TestEventQueueSoundStatic covers the paper's static topology with the
+// PCMAC control channel: two schedulers' worth of same-instant control
+// and data events.
+func TestEventQueueSoundStatic(t *testing.T) {
+	o := Fig1Options(mac.PCMAC)
+	o.Duration = 2 * sim.Second
+	o.Warmup = sim.Duration(sim.Second / 2)
+	calendarVsHeap(t, "queue-static", o)
+}
+
+// TestEventQueueDefault pins the default: an Options zero value selects
+// the calendar queue, and a bogus kind is rejected at validation time.
+func TestEventQueueDefault(t *testing.T) {
+	o := linkCacheOpts(0)
+	if err := Validate(o); err != nil {
+		t.Fatalf("empty EventQueue rejected: %v", err)
+	}
+	o.EventQueue = "fifo"
+	if err := Validate(o); err == nil {
+		t.Fatal("bogus EventQueue accepted")
+	}
+	if _, err := Build(o); err == nil {
+		t.Fatal("Build accepted bogus EventQueue")
+	}
+}

@@ -119,6 +119,12 @@ type Options struct {
 	// walk. Results are identical either way (the grid soundness tests
 	// diff whole runs); the knob exists for those tests and perf A/Bs.
 	DisableSpatialGrid bool
+	// EventQueue selects the scheduler's pending-event-set
+	// implementation ("calendar" or "heap"; "" is the calendar
+	// default). Results are byte-identical either way — the kernel's
+	// (time, seq) order is total — so the knob exists for determinism
+	// A/Bs and perf comparisons, not for correctness.
+	EventQueue string
 	// EnergyProfile names the radio's electrical draw table
 	// (energy.Profiles; "" is the WaveLAN-like default). The accountant
 	// it feeds is a pure observer: it never perturbs RNG streams or
@@ -333,7 +339,10 @@ func Build(o Options) (*Network, error) {
 		return nil, err
 	}
 	o = o.withDefaults()
-	sched := sim.NewScheduler()
+	// validate already vetted the kind; ParseQueueKind maps "" to the
+	// calendar default.
+	qkind, _ := sim.ParseQueueKind(o.EventQueue)
+	sched := sim.NewSchedulerQueue(qkind)
 	par := phys.DefaultParams()
 	var model phys.Propagation = phys.NewTwoRayGround(par)
 	var ctrlModel phys.Propagation = model

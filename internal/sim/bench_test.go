@@ -1,23 +1,49 @@
 package sim
 
-import "testing"
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+)
 
 // BenchmarkSchedulerChurn measures the schedule/cancel/fire cycle that
 // dominates MAC timer traffic: every frame arms a timeout, most timeouts
-// are cancelled before firing, and the rest fire. Allocations per
-// operation here multiply across every frame of every run in a campaign.
+// are cancelled before firing, and the rest fire. The churn runs on the
+// pooled timer path, so the loop is allocation-free and the number is
+// the queue operations themselves, not the garbage collector.
+//
+// The pending-population axis is what separates the queue kinds: the
+// binary heap pays O(log n) pointer-chasing sift chains against the
+// backlog on every operation, the calendar queue stays in the hot
+// bucket. 1M pending approximates a 1000-node run's standing timer
+// load.
 func BenchmarkSchedulerChurn(b *testing.B) {
-	s := NewScheduler()
-	fn := func() {}
-	b.ReportAllocs()
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		// One cancelled event (the common CTS-timeout path)...
-		e := s.Schedule(10, fn)
-		s.Cancel(e)
-		// ...and one fired event.
-		s.Schedule(1, fn)
-		s.Step()
+	for _, kind := range QueueKinds() {
+		for _, pending := range []int{0, 100_000, 1_000_000} {
+			b.Run(fmt.Sprintf("q=%s/pending=%d", kind, pending), func(b *testing.B) {
+				s := NewSchedulerQueue(kind)
+				rng := rand.New(rand.NewSource(1))
+				fn := func() {}
+				// The backlog: timers spread over the next second, far
+				// enough out that the churn loop below always pops its
+				// own near-term event.
+				for i := 0; i < pending; i++ {
+					s.Schedule(Millisecond+Duration(rng.Intn(int(Second))), fn)
+				}
+				tm := NewTimer(s, fn)
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					// One cancelled timeout (the common CTS-timeout
+					// path)...
+					tm.Start(10)
+					tm.Stop()
+					// ...and one that fires.
+					tm.Start(1)
+					s.Step()
+				}
+			})
+		}
 	}
 }
 

@@ -1,0 +1,445 @@
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"math/bits"
+)
+
+// QueueKind selects the pending-event-set implementation behind a
+// Scheduler. Both kinds realise the same total order, so a run's event
+// trace (and therefore its JSONL output) is byte-identical whichever
+// kind executes it; they differ only in asymptotics and memory layout.
+type QueueKind string
+
+const (
+	// QueueCalendar is the default: a calendar queue with bucket-local,
+	// value-dense event storage. Amortised O(1) push/pop, built for the
+	// 1000-node runs where the binary heap's O(log n) pointer-chasing
+	// sift chains dominate the profile.
+	QueueCalendar QueueKind = "calendar"
+
+	// QueueHeap is the original container/heap binary heap, kept as the
+	// reference implementation for A/B determinism proofs.
+	QueueHeap QueueKind = "heap"
+)
+
+// QueueKinds lists the accepted kinds, default first.
+func QueueKinds() []QueueKind { return []QueueKind{QueueCalendar, QueueHeap} }
+
+// ParseQueueKind maps a config/flag string to a QueueKind. The empty
+// string selects the default (calendar); anything else must name a
+// known kind.
+func ParseQueueKind(s string) (QueueKind, error) {
+	switch QueueKind(s) {
+	case "", QueueCalendar:
+		return QueueCalendar, nil
+	case QueueHeap:
+		return QueueHeap, nil
+	}
+	return "", fmt.Errorf("unknown event queue %q (want %q or %q)", s, QueueCalendar, QueueHeap)
+}
+
+// eventQueue is the scheduler's pending-event set. The contract every
+// implementation must honour:
+//
+//   - Total order. peekMin/popMin return the queued event with the
+//     smallest (at, seq) key — an exact minimum, never merely an
+//     equal-time approximation. Same-instant events therefore pop in
+//     schedule order, which is what makes a run's event trace (and its
+//     JSONL output) independent of the queue implementation.
+//   - Position bookkeeping. While an event is queued, its index (and,
+//     for the calendar queue, bucket) fields belong to the queue.
+//     popMin and remove must leave index negative: index >= 0 is the
+//     kernel-wide "still pending" predicate (Event.Pending, Cancel).
+//   - Monotone pushes. push may assume e.at is never earlier than the
+//     last popped event's time minus the clock rewinds the kernel
+//     forbids — i.e. the scheduler has already range-checked e.at
+//     against now. (Run's horizon clamp can still move now past base;
+//     implementations must tolerate pushes below their internal anchor,
+//     which the calendar queue handles by re-anchoring.)
+//   - remove is called only for queued events (index >= 0), exactly
+//     once per queued lifetime.
+type eventQueue interface {
+	push(e *Event)
+	peekMin() *Event
+	popMin() *Event
+	remove(e *Event)
+	len() int
+}
+
+// newEventQueue builds the pending set for a kind. Callers pass a kind
+// that already went through ParseQueueKind.
+func newEventQueue(kind QueueKind) eventQueue {
+	if kind == QueueHeap {
+		return &binaryHeap{}
+	}
+	return newCalendarQueue()
+}
+
+// binaryHeap adapts the original container/heap implementation to the
+// eventQueue interface. Event.index is the heap position.
+type binaryHeap struct{ h eventHeap }
+
+func (b *binaryHeap) push(e *Event) { heap.Push(&b.h, e) }
+
+func (b *binaryHeap) peekMin() *Event {
+	if len(b.h) == 0 {
+		return nil
+	}
+	return b.h[0]
+}
+
+func (b *binaryHeap) popMin() *Event {
+	if len(b.h) == 0 {
+		return nil
+	}
+	return heap.Pop(&b.h).(*Event)
+}
+
+func (b *binaryHeap) remove(e *Event) { heap.Remove(&b.h, e.index) }
+
+func (b *binaryHeap) len() int { return len(b.h) }
+
+type eventHeap []*Event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index = i
+	h[j].index = j
+}
+func (h *eventHeap) Push(x any) {
+	e := x.(*Event)
+	e.index = len(*h)
+	*h = append(*h, e)
+}
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	e.index = -1
+	*h = old[:n-1]
+	return e
+}
+
+// qitem is a calendar-queue entry: the ordering key inlined next to the
+// event pointer, so bucket scans and sorted inserts compare keys from
+// one contiguous slice instead of chasing *Event pointers — the cache
+// behaviour the heap lacks.
+type qitem struct {
+	at  Time
+	seq uint64
+	ev  *Event
+}
+
+func qless(a, b qitem) bool {
+	if a.at != b.at {
+		return a.at < b.at
+	}
+	return a.seq < b.seq
+}
+
+const (
+	// ladderBucket marks (in Event.bucket) an event parked in the
+	// overflow ladder rather than a calendar bucket.
+	ladderBucket = -2
+
+	// calMinBuckets floors the bucket-array size so tiny populations
+	// never resize.
+	calMinBuckets = 64
+
+	// calMaxBuckets caps growth: 24-byte slice headers per bucket make
+	// the array itself the cost at extreme sizes.
+	calMaxBuckets = 1 << 22
+
+	// calGrowAt / calShrinkAt bound the average occupancy (pending
+	// events per bucket): grow past 8, shrink below 1. Resizing targets
+	// ~4, so sorted inserts and head pops move only a handful of
+	// 24-byte items.
+	calGrowAt   = 8
+	calShrinkAt = 1
+)
+
+// calendarQueue is a calendar queue (Brown 1988), modified to keep a
+// strict one-year window instead of wrapping: buckets partition
+// [base, base+year) into fixed-width slots, bucket contents stay sorted
+// by (at, seq), and everything at or past base+year waits in an
+// overflow ladder that is sorted lazily — items are merged into sorted
+// buckets only when the year advances over them. The year advances
+// (advance) only when the buckets are empty, so the first item of the
+// first non-empty bucket at or after cur is always the global minimum.
+//
+// Near-term operations are amortised O(1): push binary-searches one
+// ~4-item bucket, pop shifts one bucket head, far-future push appends
+// to the ladder. The O(n) events — re-bucketing a year advance, resize
+// after the population grows or shrinks 8x — happen once per O(n)
+// cheap operations.
+type calendarQueue struct {
+	buckets [][]qitem
+	width   Duration // time span of one bucket, >= 1ns
+	base    Time     // start of the current year; all bucket items are in [base, base+year)
+	cur     int      // no non-empty bucket before this index
+	ncal    int      // items in buckets (excludes ladder)
+
+	// occ is the occupancy bitmap: bit b set iff buckets[b] is
+	// non-empty. The find-next-event scan walks this (16KB per million
+	// pending, cache-resident) instead of the multi-megabyte bucket
+	// array.
+	occ []uint64
+
+	// ladder holds events at or past base+year, unsorted, removable in
+	// O(1) by swap-delete (Event.index is the slice position).
+	ladder []qitem
+}
+
+func newCalendarQueue() *calendarQueue {
+	return &calendarQueue{
+		buckets: make([][]qitem, calMinBuckets),
+		occ:     make([]uint64, calMinBuckets/64),
+		width:   10 * Microsecond,
+	}
+}
+
+func (q *calendarQueue) len() int { return q.ncal + len(q.ladder) }
+
+// year returns the window span, saturating instead of overflowing when
+// width was tuned from a huge event spread.
+func (q *calendarQueue) year() Duration {
+	n := Duration(len(q.buckets))
+	y := q.width * n
+	if y/n != q.width {
+		return Duration(MaxTime)
+	}
+	return y
+}
+
+func (q *calendarQueue) push(e *Event) {
+	if e.at < q.base {
+		// Only reachable after Run's horizon clamp moved now backwards
+		// relative to a base that advance() had jumped past the horizon;
+		// rare enough that an O(n) rebuild is fine.
+		q.reanchor(e.at)
+	}
+	q.insert(qitem{at: e.at, seq: e.seq, ev: e})
+	if q.len() > calGrowAt*len(q.buckets) && len(q.buckets) < calMaxBuckets {
+		q.resize()
+	}
+}
+
+// insert files an item into its sorted bucket, or into the ladder when
+// it lies beyond the current year. Requires it.at >= base.
+func (q *calendarQueue) insert(it qitem) {
+	if Duration(it.at-q.base) >= q.year() {
+		it.ev.bucket = ladderBucket
+		it.ev.index = len(q.ladder)
+		q.ladder = append(q.ladder, it)
+		return
+	}
+	b := int(Duration(it.at-q.base) / q.width)
+	bk := q.buckets[b]
+	lo, hi := 0, len(bk)
+	for lo < hi {
+		m := int(uint(lo+hi) >> 1)
+		if qless(bk[m], it) {
+			lo = m + 1
+		} else {
+			hi = m
+		}
+	}
+	bk = append(bk, qitem{})
+	copy(bk[lo+1:], bk[lo:])
+	bk[lo] = it
+	q.buckets[b] = bk
+	q.occ[b>>6] |= 1 << (b & 63)
+	it.ev.bucket = int32(b)
+	it.ev.index = lo
+	for i := lo + 1; i < len(bk); i++ {
+		bk[i].ev.index = i
+	}
+	if b < q.cur {
+		// peekMin may have walked cur past this bucket while it was
+		// empty (e.g. peeking beyond a Run horizon); rewind so the scan
+		// still starts at or before the first non-empty bucket.
+		q.cur = b
+	}
+	q.ncal++
+}
+
+func (q *calendarQueue) peekMin() *Event {
+	if q.ncal == 0 {
+		if len(q.ladder) == 0 {
+			return nil
+		}
+		q.advance()
+	}
+	if len(q.buckets[q.cur]) == 0 {
+		// Scan the occupancy bitmap for the next non-empty bucket;
+		// ncal > 0 guarantees a set bit at or after cur.
+		w := q.cur >> 6
+		word := q.occ[w] &^ (1<<(q.cur&63) - 1)
+		for word == 0 {
+			w++
+			word = q.occ[w]
+		}
+		q.cur = w<<6 + bits.TrailingZeros64(word)
+	}
+	return q.buckets[q.cur][0].ev
+}
+
+func (q *calendarQueue) popMin() *Event {
+	e := q.peekMin()
+	if e == nil {
+		return nil
+	}
+	q.remove(e)
+	return e
+}
+
+func (q *calendarQueue) remove(e *Event) {
+	if e.bucket == ladderBucket {
+		i := e.index
+		last := len(q.ladder) - 1
+		if i != last {
+			q.ladder[i] = q.ladder[last]
+			q.ladder[i].ev.index = i
+		}
+		q.ladder[last] = qitem{}
+		q.ladder = q.ladder[:last]
+	} else {
+		b := int(e.bucket)
+		bk := q.buckets[b]
+		i := e.index
+		copy(bk[i:], bk[i+1:])
+		bk[len(bk)-1] = qitem{}
+		bk = bk[:len(bk)-1]
+		q.buckets[b] = bk
+		if len(bk) == 0 {
+			q.occ[b>>6] &^= 1 << (b & 63)
+		}
+		for j := i; j < len(bk); j++ {
+			bk[j].ev.index = j
+		}
+		q.ncal--
+	}
+	e.index = -1
+	e.bucket = -1
+	if q.len() < calShrinkAt*len(q.buckets)/4 && len(q.buckets) > calMinBuckets {
+		q.resize()
+	}
+}
+
+// advance moves the year to the earliest ladder item and re-buckets
+// every ladder item that the new window reaches. Only called with empty
+// buckets and a non-empty ladder; afterwards ncal >= 1 (the minimum
+// itself always lands in bucket 0).
+func (q *calendarQueue) advance() {
+	min := q.ladder[0]
+	for _, it := range q.ladder[1:] {
+		if qless(it, min) {
+			min = it
+		}
+	}
+	q.base = min.at
+	q.cur = 0
+	q.migrate()
+}
+
+// migrate re-files ladder items that now fall inside the year.
+func (q *calendarQueue) migrate() {
+	year := q.year()
+	for i := 0; i < len(q.ladder); {
+		it := q.ladder[i]
+		if Duration(it.at-q.base) >= year {
+			i++
+			continue
+		}
+		last := len(q.ladder) - 1
+		if i != last {
+			q.ladder[i] = q.ladder[last]
+			q.ladder[i].ev.index = i
+		}
+		q.ladder[last] = qitem{}
+		q.ladder = q.ladder[:last]
+		q.insert(it)
+	}
+}
+
+// collect drains every bucket, returning the items globally sorted
+// (bucket order is time order, buckets are sorted internally).
+func (q *calendarQueue) collect() []qitem {
+	items := make([]qitem, 0, q.ncal)
+	for b := q.cur; b < len(q.buckets); b++ {
+		items = append(items, q.buckets[b]...)
+		q.buckets[b] = q.buckets[b][:0]
+	}
+	for w := range q.occ {
+		q.occ[w] = 0
+	}
+	q.ncal = 0
+	return items
+}
+
+// resize rebuilds the bucket array for the current population: the
+// bucket count targets ~4 items per bucket and the width is tuned to
+// the observed spacing of the next events to fire, so a cluster of
+// near-term events spreads across many buckets even when a far outlier
+// stretches the total span. Items the retuned year no longer covers
+// fall through insert into the ladder; ladder items it newly covers are
+// migrated in.
+func (q *calendarQueue) resize() {
+	total := q.len()
+	items := q.collect()
+
+	n := calMinBuckets
+	for n < total/4 && n < calMaxBuckets {
+		n *= 2
+	}
+	q.buckets = make([][]qitem, n)
+	q.occ = make([]uint64, n/64)
+	q.cur = 0
+
+	// Tune width from the head of the sorted calendar population: the
+	// average gap over (up to) the next 64 events, times the target
+	// occupancy. Head sampling, not total span / count, is what keeps
+	// one far-future event from inflating every bucket.
+	// base stays put: it is already a lower bound for every item, and
+	// raising it to items[0].at would strand the scheduler clock below
+	// base, turning every near-term push into an O(n) reanchor.
+	if len(items) >= 2 {
+		k := len(items)
+		if k > 64 {
+			k = 64
+		}
+		span := Duration(items[k-1].at - items[0].at)
+		w := 4 * span / Duration(k-1)
+		if w < 1 {
+			w = 1
+		}
+		q.width = w
+	}
+	for _, it := range items {
+		q.insert(it)
+	}
+	// A wider year may now cover ladder items (and repeated grows will
+	// pull a deep ladder in stepwise).
+	q.migrate()
+}
+
+// reanchor rebuilds the calendar with base at, for the rare push below
+// base (see push).
+func (q *calendarQueue) reanchor(at Time) {
+	items := q.collect()
+	q.base = at
+	q.cur = 0
+	for _, it := range items {
+		q.insert(it)
+	}
+}

@@ -13,7 +13,6 @@
 package sim
 
 import (
-	"container/heap"
 	"fmt"
 	"math"
 )
@@ -74,10 +73,11 @@ func DurationOf(seconds float64) Duration {
 // moment they fire or are cancelled; no handle to them ever escapes, so
 // no caller can observe the reuse.
 type Event struct {
-	at    Time
-	seq   uint64
-	index int // heap index, -1 when not queued
-	fn    func()
+	at     Time
+	seq    uint64
+	index  int   // position within the queue (heap slot / bucket slot), -1 when not queued
+	bucket int32 // calendar bucket number (ladderBucket for the overflow ladder); unused by the heap
+	fn     func()
 
 	// Typed no-capture form: when h is non-nil the event dispatches
 	// h.HandleEvent(kind, arg, x) instead of fn. The three payload slots
@@ -107,41 +107,13 @@ func (e *Event) At() Time { return e.at }
 // not cancelled).
 func (e *Event) Pending() bool { return e != nil && e.index >= 0 }
 
-type eventHeap []*Event
-
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].at != h[j].at {
-		return h[i].at < h[j].at
-	}
-	return h[i].seq < h[j].seq
-}
-func (h eventHeap) Swap(i, j int) {
-	h[i], h[j] = h[j], h[i]
-	h[i].index = i
-	h[j].index = j
-}
-func (h *eventHeap) Push(x any) {
-	e := x.(*Event)
-	e.index = len(*h)
-	*h = append(*h, e)
-}
-func (h *eventHeap) Pop() any {
-	old := *h
-	n := len(old)
-	e := old[n-1]
-	old[n-1] = nil
-	e.index = -1
-	*h = old[:n-1]
-	return e
-}
-
 // Scheduler is the discrete-event executive. It is not safe for
 // concurrent use; the whole simulation runs on one goroutine.
 type Scheduler struct {
 	now     Time
 	seq     uint64
-	pending eventHeap
+	q       eventQueue
+	kind    QueueKind
 	stopped bool
 
 	// free is the event free list. Only pooled events (typed events and
@@ -155,8 +127,25 @@ type Scheduler struct {
 	executed uint64
 }
 
-// NewScheduler returns a scheduler with the clock at zero.
-func NewScheduler() *Scheduler { return &Scheduler{} }
+// NewScheduler returns a scheduler with the clock at zero, using the
+// default (calendar) event queue.
+func NewScheduler() *Scheduler { return NewSchedulerQueue(QueueCalendar) }
+
+// NewSchedulerQueue returns a scheduler with the clock at zero whose
+// pending-event set uses the given queue kind. An empty kind selects
+// the default; an unknown kind panics (configuration surfaces validate
+// through ParseQueueKind first).
+func NewSchedulerQueue(kind QueueKind) *Scheduler {
+	k, err := ParseQueueKind(string(kind))
+	if err != nil {
+		panic("sim: " + err.Error())
+	}
+	return &Scheduler{q: newEventQueue(k), kind: k}
+}
+
+// QueueKind reports which event-queue implementation backs this
+// scheduler, for tests and diagnostics.
+func (s *Scheduler) QueueKind() QueueKind { return s.kind }
 
 // Now returns the current simulation time.
 func (s *Scheduler) Now() Time { return s.now }
@@ -165,7 +154,7 @@ func (s *Scheduler) Now() Time { return s.now }
 func (s *Scheduler) Executed() uint64 { return s.executed }
 
 // Pending returns the number of events currently queued.
-func (s *Scheduler) Pending() int { return len(s.pending) }
+func (s *Scheduler) Pending() int { return s.q.len() }
 
 // Schedule queues fn to run d after the current time and returns the
 // event handle, which may be cancelled. Negative d panics: the kernel
@@ -188,7 +177,7 @@ func (s *Scheduler) At(t Time, fn func()) *Event {
 	}
 	e := &Event{at: t, seq: s.seq, fn: fn, index: -1}
 	s.seq++
-	heap.Push(&s.pending, e)
+	s.q.push(e)
 	return e
 }
 
@@ -213,7 +202,7 @@ func (s *Scheduler) ScheduleEvent(d Duration, h EventHandler, kind int32, arg an
 	e.x = x
 	e.seq = s.seq
 	s.seq++
-	heap.Push(&s.pending, e)
+	s.q.push(e)
 }
 
 // scheduleOwned queues a pooled typed event and returns its handle to an
@@ -229,7 +218,7 @@ func (s *Scheduler) scheduleOwned(t Time, h EventHandler) *Event {
 	e.h = h
 	e.seq = s.seq
 	s.seq++
-	heap.Push(&s.pending, e)
+	s.q.push(e)
 	return e
 }
 
@@ -261,11 +250,18 @@ func (s *Scheduler) release(e *Event) {
 // cancelled event is a no-op, so callers can cancel unconditionally.
 // Cancelled Schedule/At events are not recycled: their handle stays
 // valid (and inert) for as long as the caller retains it.
+//
+// Pooled events (ScheduleEvent, Timer internals) return to the free
+// list the moment they fire, so by the time any code could call Cancel
+// on one it is already off the queue: index is negative and the call is
+// the same explicit no-op. This holds even if the struct has since been
+// re-armed under a new identity — no handle to a pooled event survives
+// outside its owner, so a stale pointer can never name a queued event.
 func (s *Scheduler) Cancel(e *Event) {
 	if e == nil || e.index < 0 {
 		return
 	}
-	heap.Remove(&s.pending, e.index)
+	s.q.remove(e)
 }
 
 // cancelOwned cancels a pooled event on behalf of its sole owner and
@@ -274,17 +270,17 @@ func (s *Scheduler) cancelOwned(e *Event) {
 	if e == nil || e.index < 0 {
 		return
 	}
-	heap.Remove(&s.pending, e.index)
+	s.q.remove(e)
 	s.release(e)
 }
 
 // Step fires the single earliest pending event. It reports false when the
 // queue is empty.
 func (s *Scheduler) Step() bool {
-	if len(s.pending) == 0 {
+	e := s.q.popMin()
+	if e == nil {
 		return false
 	}
-	e := heap.Pop(&s.pending).(*Event)
 	s.now = e.at
 	s.executed++
 	if e.h != nil {
@@ -312,8 +308,9 @@ func (s *Scheduler) Step() bool {
 // horizon stay queued.
 func (s *Scheduler) Run(horizon Time) {
 	s.stopped = false
-	for len(s.pending) > 0 && !s.stopped {
-		if s.pending[0].at > horizon {
+	for !s.stopped {
+		e := s.q.peekMin()
+		if e == nil || e.at > horizon {
 			break
 		}
 		s.Step()
@@ -326,7 +323,7 @@ func (s *Scheduler) Run(horizon Time) {
 // RunAll executes events until the queue is empty or Stop is called.
 func (s *Scheduler) RunAll() {
 	s.stopped = false
-	for len(s.pending) > 0 && !s.stopped {
+	for s.q.len() > 0 && !s.stopped {
 		s.Step()
 	}
 }
