@@ -70,8 +70,9 @@ campaign-smoke:
 
 # daemon-smoke mirrors CI's campaign-daemon step: boot campaignd on a
 # fresh state dir, submit the bursty preset's spec over HTTP, wait for
-# completion, and require the served JSONL to be byte-identical to
-# cmd/campaign's output for the same spec.
+# completion, require the served JSONL byte-identical to cmd/campaign's
+# output for the same spec, and assert the /metrics completed-run
+# counter matches the record count.
 daemon-smoke:
 	@set -e; \
 	tmp=$$(mktemp -d); pid=""; \
@@ -91,7 +92,10 @@ daemon-smoke:
 	test "$$state" = done; \
 	curl -sf http://127.0.0.1:8941/campaigns/$$id/results.jsonl > $$tmp/served.jsonl; \
 	cmp $$tmp/cli.jsonl $$tmp/served.jsonl; \
-	echo "daemon-smoke: ok ($$(wc -l < $$tmp/served.jsonl) records served byte-identical)"
+	completed=$$(curl -sf http://127.0.0.1:8941/metrics | awk '$$1 == "campaign_runs_completed_total" {print int($$2)}'); \
+	records=$$(wc -l < $$tmp/served.jsonl); \
+	test "$$completed" -eq "$$records"; \
+	echo "daemon-smoke: ok ($$records records served byte-identical; completed_total=$$completed)"
 
 # chaos-smoke mirrors CI's chaos-smoke job: SIGKILL campaignd at least
 # three times mid-campaign, resume on the same state dir, and require

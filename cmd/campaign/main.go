@@ -42,6 +42,8 @@ func main() {
 	cf.Register(flag.CommandLine)
 	var ef cli.ExecFlags
 	ef.Register(flag.CommandLine)
+	var lf cli.LogFlags
+	lf.Register(flag.CommandLine)
 	var (
 		emitSpec = flag.Bool("emit-spec", false, "print the campaign as a JSON spec and exit")
 		dryRun   = flag.Bool("dry-run", false, "list the expanded runs without executing")
@@ -50,8 +52,15 @@ func main() {
 		workers  = flag.Int("workers", 0, "worker pool size (0 = GOMAXPROCS)")
 		csv      = flag.Bool("csv", false, "emit the aggregate as CSV instead of a table")
 		quiet    = flag.Bool("q", false, "suppress progress output")
+		timing   = flag.Bool("timing", false, "record wall_ms/peak_queue per run and print a throughput summary (output becomes machine-dependent)")
 	)
 	flag.Parse()
+
+	log, err := lf.Logger(os.Stderr)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "campaign: %v\n", err)
+		os.Exit(2)
+	}
 
 	camp, err := cf.Build()
 	if err != nil {
@@ -100,25 +109,33 @@ func main() {
 	exec := runner.ExecOptions{
 		Workers:  *workers,
 		Progress: runner.MultiProgress(agg, progress),
+		Timing:   *timing,
+		OnRetry: func(ev runner.RetryEvent) {
+			log.Warn("run retried", "key", ev.Run.Key, "attempt", ev.Attempt, "err", ev.Err, "backoff", ev.Backoff)
+		},
 	}
 	ef.Apply(&exec)
 	sum, err := serve.RunCampaign(ctx, camp, *out, *resume, exec)
 	if errors.Is(err, context.Canceled) {
 		fmt.Fprintln(os.Stderr)
 		if *out != "" {
-			fmt.Fprintf(os.Stderr, "campaign: interrupted — checkpoint at %s; rerun with -resume to continue\n", *out)
+			log.Warn("interrupted — rerun with -resume to continue", "checkpoint", *out)
 		} else {
-			fmt.Fprintln(os.Stderr, "campaign: interrupted")
+			log.Warn("interrupted")
 		}
 		os.Exit(130)
 	}
 	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
+		log.Error("campaign failed", "err", err)
 		os.Exit(1)
 	}
 
 	fmt.Printf("\n## campaign %s (%d runs: %d executed, %d resumed, %.1fs wall)\n\n",
 		camp.Name, sum.Total, sum.Executed, sum.Skipped, sum.Elapsed.Seconds())
+	if ts, ok := agg.Throughput(); ok {
+		fmt.Printf("timing: %d timed runs, %.2f runs/s per worker, p95 wall %.1f ms, %.0fx real time\n\n",
+			ts.Runs, ts.RunsPerSec, ts.WallP95Ms, ts.SimTimeRate)
+	}
 	if *csv {
 		err = agg.WriteCSV(os.Stdout)
 	} else {
@@ -131,8 +148,8 @@ func main() {
 	// Quarantined runs are typed records in the checkpoint, not aborts;
 	// surface them and exit nonzero so scripts notice incomplete data.
 	if sum.Failed > 0 {
-		fmt.Fprintf(os.Stderr, "campaign: %d runs quarantined as failed (see \"status\":\"failed\" records in %s; rerun with -resume to retry them)\n",
-			sum.Failed, *out)
+		log.Error("runs quarantined as failed — rerun with -resume to retry them",
+			"failed", sum.Failed, "checkpoint", *out)
 		os.Exit(3)
 	}
 }

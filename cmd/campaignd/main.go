@@ -14,8 +14,9 @@
 //	curl -s localhost:8080/campaigns/<id>                     # status
 //	curl -N  localhost:8080/campaigns/<id>/events             # SSE stream
 //	curl -s  localhost:8080/campaigns/<id>/results.jsonl      # checkpoint
+//	curl -s  localhost:8080/metrics                           # Prometheus
 //
-// See docs/api.md for the full endpoint and event reference.
+// See docs/api.md for the full endpoint, event and metric reference.
 package main
 
 import (
@@ -38,13 +39,23 @@ func main() {
 	cf.Register(flag.CommandLine)
 	var ef cli.ExecFlags
 	ef.Register(flag.CommandLine)
+	var lf cli.LogFlags
+	lf.Register(flag.CommandLine)
 	var (
 		addr      = flag.String("addr", ":8080", "HTTP listen address")
 		dir       = flag.String("dir", "campaignd-state", "state directory (specs + JSONL checkpoints)")
 		workers   = flag.Int("workers", 0, "per-campaign shard count (0 = GOMAXPROCS)")
 		syncEvery = flag.Int("sync-every", 0, "fsync checkpoints every N records (0 = default, negative = only at completion)")
+		pprofOn   = flag.Bool("pprof", false, "serve net/http/pprof under /debug/pprof/")
+		timing    = flag.Bool("timing", false, "record wall_ms/peak_queue on every executed run (makes checkpoints machine-dependent)")
 	)
 	flag.Parse()
+
+	log, err := lf.Logger(os.Stderr)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "campaignd: %v\n", err)
+		os.Exit(2)
+	}
 
 	svc, err := serve.NewService(*dir, serve.Options{
 		Workers:       *workers,
@@ -52,9 +63,11 @@ func main() {
 		RunTimeout:    ef.RunTimeout,
 		NoRetryFailed: ef.NoRetryFailed,
 		SyncEvery:     *syncEvery,
+		Timing:        *timing,
+		Logger:        log,
 	})
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "campaignd: %v\n", err)
+		log.Error("startup failed", "err", err)
 		os.Exit(1)
 	}
 	// The campaign flag group is optional here: when given, the daemon
@@ -63,25 +76,30 @@ func main() {
 	if cf.Given() {
 		camp, err := cf.Build()
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "campaignd: %v\n", err)
+			log.Error("bad campaign flags", "err", err)
 			os.Exit(2)
 		}
 		c, created, err := svc.Submit(camp.File())
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "campaignd: %v\n", err)
+			log.Error("boot submission failed", "err", err)
 			os.Exit(2)
 		}
 		verb := "resumed"
 		if created {
 			verb = "submitted"
 		}
-		fmt.Fprintf(os.Stderr, "campaignd: %s campaign %s (%s)\n", verb, c.ID(), c.Spec().Name)
+		log.Info("boot campaign "+verb, "campaign", c.ID(), "name", c.Spec().Name)
 	}
 
-	srv := &http.Server{Addr: *addr, Handler: serve.NewServer(svc)}
+	handler := serve.NewServer(svc)
+	if *pprofOn {
+		handler.EnablePprof()
+		log.Info("pprof enabled", "path", "/debug/pprof/")
+	}
+	srv := &http.Server{Addr: *addr, Handler: handler}
 	errc := make(chan error, 1)
 	go func() { errc <- srv.ListenAndServe() }()
-	fmt.Fprintf(os.Stderr, "campaignd: listening on %s (state in %s)\n", *addr, *dir)
+	log.Info("listening", "addr", *addr, "dir", *dir)
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
@@ -92,23 +110,24 @@ func main() {
 		// the campaigns and wait for in-flight runs so every checkpoint
 		// is left a valid resumable prefix. A second signal skips the
 		// wait and force-exits.
-		fmt.Fprintln(os.Stderr, "campaignd: draining (signal again to force exit)")
+		log.Info("draining (signal again to force exit)")
 		svc.StartDrain()
 		stop()
 		forced := make(chan os.Signal, 1)
 		signal.Notify(forced, os.Interrupt, syscall.SIGTERM)
 		go func() {
 			<-forced
-			fmt.Fprintln(os.Stderr, "campaignd: forced exit")
+			log.Warn("forced exit")
 			os.Exit(1)
 		}()
 		shctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 		defer cancel()
 		_ = srv.Shutdown(shctx)
 		svc.Close()
+		log.Info("drain complete: checkpoints settled")
 	case err := <-errc:
 		if !errors.Is(err, http.ErrServerClosed) {
-			fmt.Fprintf(os.Stderr, "campaignd: %v\n", err)
+			log.Error("server failed", "err", err)
 			os.Exit(1)
 		}
 	}

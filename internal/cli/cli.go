@@ -9,10 +9,13 @@ package cli
 import (
 	"flag"
 	"fmt"
+	"io"
+	"log/slog"
 	"strconv"
 	"strings"
 	"time"
 
+	"repro/internal/obs"
 	"repro/internal/runner"
 )
 
@@ -73,6 +76,29 @@ func (f *ExecFlags) Apply(opts *runner.ExecOptions) {
 	opts.Retries = f.Retries
 	opts.RunTimeout = f.RunTimeout
 	opts.NoRetryFailed = f.NoRetryFailed
+}
+
+// LogFlags is the structured-logging flag group shared by cmd/campaign
+// and cmd/campaignd: a level threshold and the text/JSON handler
+// choice.
+type LogFlags struct {
+	Level string
+	JSON  bool
+}
+
+// Register installs the logging flag group on fs.
+func (f *LogFlags) Register(fs *flag.FlagSet) {
+	fs.StringVar(&f.Level, "log-level", "info", "log threshold: debug|info|warn|error")
+	fs.BoolVar(&f.JSON, "log-json", false, "emit logs as JSON lines instead of text")
+}
+
+// Logger builds the slog.Logger the flags describe, writing to w.
+func (f *LogFlags) Logger(w io.Writer) (*slog.Logger, error) {
+	level, err := obs.ParseLevel(f.Level)
+	if err != nil {
+		return nil, fmt.Errorf("bad -log-level: %w", err)
+	}
+	return obs.NewLogger(w, level, f.JSON), nil
 }
 
 // Build resolves the flag group into a Campaign: -spec or -preset

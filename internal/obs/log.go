@@ -1,0 +1,46 @@
+// Structured logging setup shared by the CLIs and the daemon: one
+// level vocabulary, one handler choice (text for humans, JSON for log
+// pipelines), and a discard logger for libraries that default to
+// silence.
+package obs
+
+import (
+	"fmt"
+	"io"
+	"log/slog"
+	"strings"
+)
+
+// ParseLevel maps the flag vocabulary (debug|info|warn|error) to a
+// slog.Level.
+func ParseLevel(s string) (slog.Level, error) {
+	switch strings.ToLower(strings.TrimSpace(s)) {
+	case "debug":
+		return slog.LevelDebug, nil
+	case "", "info":
+		return slog.LevelInfo, nil
+	case "warn", "warning":
+		return slog.LevelWarn, nil
+	case "error":
+		return slog.LevelError, nil
+	}
+	return 0, fmt.Errorf("obs: unknown log level %q (want debug|info|warn|error)", s)
+}
+
+// NewLogger builds the shared logger: text or JSON records on w at the
+// given level. Both CLIs and the daemon log through this one setup, so
+// a grep (or a jq) works the same everywhere.
+func NewLogger(w io.Writer, level slog.Level, json bool) *slog.Logger {
+	opts := &slog.HandlerOptions{Level: level}
+	if json {
+		return slog.New(slog.NewJSONHandler(w, opts))
+	}
+	return slog.New(slog.NewTextHandler(w, opts))
+}
+
+// Discard returns a logger that drops everything — the library-default
+// for services whose caller did not wire a logger. (slog.DiscardHandler
+// needs Go 1.24; this repo's floor is 1.23.)
+func Discard() *slog.Logger {
+	return slog.New(slog.NewTextHandler(io.Discard, &slog.HandlerOptions{Level: slog.LevelError + 1}))
+}

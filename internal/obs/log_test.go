@@ -1,0 +1,64 @@
+package obs
+
+import (
+	"encoding/json"
+	"log/slog"
+	"strings"
+	"testing"
+)
+
+func TestParseLevel(t *testing.T) {
+	cases := []struct {
+		in   string
+		want slog.Level
+		ok   bool
+	}{
+		{"debug", slog.LevelDebug, true},
+		{"info", slog.LevelInfo, true},
+		{"", slog.LevelInfo, true},
+		{"WARN", slog.LevelWarn, true},
+		{"warning", slog.LevelWarn, true},
+		{"error", slog.LevelError, true},
+		{"loud", 0, false},
+	}
+	for _, c := range cases {
+		got, err := ParseLevel(c.in)
+		if c.ok != (err == nil) || (c.ok && got != c.want) {
+			t.Errorf("ParseLevel(%q) = %v, %v; want %v ok=%v", c.in, got, err, c.want, c.ok)
+		}
+	}
+}
+
+func TestNewLoggerJSON(t *testing.T) {
+	var sb strings.Builder
+	log := NewLogger(&sb, slog.LevelInfo, true)
+	log.Debug("hidden")
+	log.Info("drain started", "campaigns", 3)
+	line := strings.TrimSpace(sb.String())
+	if strings.Count(line, "\n") != 0 {
+		t.Fatalf("want exactly one record, got:\n%s", sb.String())
+	}
+	var rec map[string]any
+	if err := json.Unmarshal([]byte(line), &rec); err != nil {
+		t.Fatalf("JSON handler emitted non-JSON: %v\n%s", err, line)
+	}
+	if rec["msg"] != "drain started" || rec["campaigns"] != float64(3) {
+		t.Errorf("record = %v", rec)
+	}
+}
+
+func TestNewLoggerTextLevel(t *testing.T) {
+	var sb strings.Builder
+	log := NewLogger(&sb, slog.LevelWarn, false)
+	log.Info("suppressed")
+	log.Warn("kept", "key", "v")
+	out := sb.String()
+	if strings.Contains(out, "suppressed") || !strings.Contains(out, "kept") {
+		t.Errorf("level filtering wrong:\n%s", out)
+	}
+}
+
+func TestDiscardIsSilent(t *testing.T) {
+	// Must not panic and must not write anywhere observable.
+	Discard().Error("nothing")
+}

@@ -39,11 +39,17 @@ type Point struct {
 type Aggregate struct {
 	order  []string
 	points map[string]*Point
+	// Timing summary inputs, fed only by records that carry the opt-in
+	// wall_ms field (ExecOptions.Timing); simS accumulates simulated
+	// seconds across those same records.
+	wallMs  stats.Series
+	wallP95 stats.Quantile
+	simS    float64
 }
 
 // NewAggregate creates an empty aggregation.
 func NewAggregate() *Aggregate {
-	return &Aggregate{points: make(map[string]*Point)}
+	return &Aggregate{points: make(map[string]*Point), wallP95: stats.NewQuantile(0.95)}
 }
 
 // RunDone implements Progress, so an Aggregate can be wired straight
@@ -77,6 +83,41 @@ func (a *Aggregate) Add(run Run, r Result) {
 	if r.TimeToFirstDeathS > 0 {
 		p.FirstDeathS.Append(r.TimeToFirstDeathS)
 	}
+	if r.WallMS > 0 {
+		a.wallMs.Append(r.WallMS)
+		a.wallP95.Add(r.WallMS)
+		a.simS += r.DurationS
+	}
+}
+
+// ThroughputSummary is the campaign-level timing rollup computed from
+// records that carried wall_ms (the -timing opt-in).
+type ThroughputSummary struct {
+	// Runs is how many timed records contributed. RunsPerSec is the
+	// per-worker serial rate — runs divided by summed wall time — so it
+	// measures simulation cost, not pool parallelism. WallP95Ms is the
+	// streaming 95th-percentile per-run wall time, and SimTimeRate the
+	// speedup over real time (simulated seconds per wall second).
+	Runs        int
+	RunsPerSec  float64
+	WallP95Ms   float64
+	SimTimeRate float64
+}
+
+// Throughput reports the timing summary; ok is false when no record
+// carried wall_ms (timing was off, or everything failed pre-metrics).
+func (a *Aggregate) Throughput() (ThroughputSummary, bool) {
+	n := a.wallMs.N()
+	if n == 0 {
+		return ThroughputSummary{}, false
+	}
+	wallS := a.wallMs.Mean() * float64(n) / 1e3
+	s := ThroughputSummary{Runs: n, WallP95Ms: a.wallP95.Value()}
+	if wallS > 0 {
+		s.RunsPerSec = float64(n) / wallS
+		s.SimTimeRate = a.simS / wallS
+	}
+	return s, true
 }
 
 // Points returns the grid points in first-seen (campaign) order.

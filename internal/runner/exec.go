@@ -22,6 +22,7 @@ import (
 	"time"
 
 	"repro/internal/energy"
+	"repro/internal/obs"
 	"repro/internal/scenario"
 )
 
@@ -92,6 +93,16 @@ type Result struct {
 	Status   string `json:"status,omitempty"`
 	Error    string `json:"error,omitempty"`
 	Attempts int    `json:"attempts,omitempty"`
+
+	// WallMS and PeakQueue are the opt-in per-run timing breakdown
+	// (ExecOptions.Timing): wall-clock milliseconds spent executing the
+	// run (attempts, backoff and retries included) and the scheduler's
+	// peak pending-event depth. WallMS is inherently nondeterministic,
+	// which is why the fields trail the struct, are omitted when unset,
+	// and are never collected by default — byte-identical JSONL across
+	// worker counts, machines and restarts stays the ground rule.
+	WallMS    float64 `json:"wall_ms,omitempty"`
+	PeakQueue int     `json:"peak_queue,omitempty"`
 }
 
 // StatusFailed marks a run quarantined after exhausting its retries.
@@ -170,6 +181,7 @@ func ResultOf(r Run, res scenario.Result) Result {
 		DeadNodes:           res.DeadNodes,
 		TimeToFirstDeathS:   res.TimeToFirstDeathS,
 		Events:              res.Events,
+		PeakQueue:           res.PeakQueue,
 	}
 	for _, st := range res.AliveTimeline {
 		out.AliveTimeline = append(out.AliveTimeline, [2]float64{st.T.Seconds(), float64(st.Alive)})
@@ -401,6 +413,17 @@ type ExecOptions struct {
 	// exists for deterministic fault injection (internal/fault) in
 	// tests; production paths leave it nil.
 	RunHook func(r Run, attempt int)
+
+	// Obs, if non-nil, receives execution telemetry: run-lifecycle
+	// counters, per-run wall-time and sim-event histograms, and the
+	// worker-pool occupancy gauge. Attaching it is pure observation —
+	// no output byte changes (the sink-invariance test enforces this).
+	Obs *obs.RunnerMetrics
+	// Timing opts executed records into the per-run timing breakdown:
+	// wall_ms (nondeterministic wall clock) and peak_queue (the
+	// deterministic scheduler high-water mark). Off by default because
+	// wall_ms breaks byte-identical JSONL across machines and reruns.
+	Timing bool
 }
 
 // Retry backoff bounds: the first retry waits RetryBackoff (default
@@ -517,6 +540,9 @@ func Execute(ctx context.Context, c Campaign, opts ExecOptions) (Summary, error)
 		idx int
 		res Result
 		err error
+		// wall is the run's total execution time, kept off the Result so
+		// histograms work without Timing opting the JSONL into wall_ms.
+		wall time.Duration
 	}
 	outs := make(chan outcome)
 	var wg sync.WaitGroup
@@ -525,6 +551,16 @@ func Execute(ctx context.Context, c Campaign, opts ExecOptions) (Summary, error)
 	// allowed to wedge the worker (the abandoned goroutine's final send
 	// lands in the buffered channel and is collected when it returns).
 	attempt := func(r Run, n int) (Result, error) {
+		if opts.Obs != nil {
+			opts.Obs.RunsStarted.Inc()
+			opts.Obs.WorkersBusy.Add(1)
+			defer opts.Obs.WorkersBusy.Add(-1)
+		}
+		if opts.Timing {
+			// r is a copy; enabling the pure-observer sim sink here never
+			// leaks into the campaign's run list.
+			r.Opts.CollectSimStats = true
+		}
 		type runOut struct {
 			res scenario.Result
 			err error
@@ -564,6 +600,7 @@ func Execute(ctx context.Context, c Campaign, opts ExecOptions) (Summary, error)
 	// through the same deterministic campaign-order emission, so one
 	// poisoned grid point costs one record, not the process.
 	execute := func(r Run) outcome {
+		runStart := time.Now()
 		var lastErr error
 		for n := 0; n <= opts.Retries; n++ {
 			if n > 0 {
@@ -573,19 +610,33 @@ func Execute(ctx context.Context, c Campaign, opts ExecOptions) (Summary, error)
 					// Cancelled mid-retry: surface the cancellation instead
 					// of writing a spurious quarantine record — the resume
 					// will re-attempt with a clean slate.
-					return outcome{r.Index, Result{}, ctx.Err()}
+					return outcome{idx: r.Index, err: ctx.Err()}
 				}
 			}
 			res, err := attempt(r, n)
 			if err == nil {
-				return outcome{r.Index, res, nil}
+				wall := time.Since(runStart)
+				if opts.Timing {
+					res.WallMS = float64(wall.Microseconds()) / 1e3
+				}
+				return outcome{idx: r.Index, res: res, wall: wall}
 			}
 			lastErr = err
-			if n < opts.Retries && opts.OnRetry != nil {
-				opts.OnRetry(RetryEvent{Run: r, Attempt: n + 1, Err: err, Backoff: backoffFor(opts.RetryBackoff, n+1)})
+			if n < opts.Retries {
+				if opts.Obs != nil {
+					opts.Obs.RunsRetried.Inc()
+				}
+				if opts.OnRetry != nil {
+					opts.OnRetry(RetryEvent{Run: r, Attempt: n + 1, Err: err, Backoff: backoffFor(opts.RetryBackoff, n+1)})
+				}
 			}
 		}
-		return outcome{r.Index, FailedResult(r, lastErr, opts.Retries+1), nil}
+		wall := time.Since(runStart)
+		res := FailedResult(r, lastErr, opts.Retries+1)
+		if opts.Timing {
+			res.WallMS = float64(wall.Microseconds()) / 1e3
+		}
+		return outcome{idx: r.Index, res: res, wall: wall}
 	}
 	if opts.ShardByKey {
 		// Static partition: shard i owns exactly the runs whose key
@@ -663,6 +714,15 @@ func Execute(ctx context.Context, c Campaign, opts ExecOptions) (Summary, error)
 					}
 				}
 				done++
+				if opts.Obs != nil {
+					opts.Obs.RunsCompleted.Inc()
+					if s.res.Failed() {
+						opts.Obs.RunsFailed.Inc()
+					}
+					if !s.executed {
+						opts.Obs.RunsResumed.Inc()
+					}
+				}
 				if opts.Progress != nil {
 					opts.Progress.RunDone(RunEvent{
 						Run:     runs[next],
@@ -685,6 +745,12 @@ func Execute(ctx context.Context, c Campaign, opts ExecOptions) (Summary, error)
 			sum.Executed++
 			if o.res.Failed() {
 				sum.Failed++
+			}
+			if opts.Obs != nil {
+				opts.Obs.RunWallSeconds.Observe(o.wall.Seconds())
+				if !o.res.Failed() {
+					opts.Obs.RunSimEvents.Observe(float64(o.res.Events))
+				}
 			}
 		}
 		flush()

@@ -137,6 +137,13 @@ type Options struct {
 	// the dead node's radios power off, its MAC halts, and AODV must
 	// route around it.
 	BatteryJ float64
+	// CollectSimStats enables the scheduler's pending-depth tracking so
+	// Result.PeakQueue is populated. Like the energy observer, it is a
+	// pure measurement: events, RNG streams and every other metric are
+	// byte-identical with it on or off (the sim-stats soundness tests
+	// diff whole runs), and with it off the kernel pays nothing but an
+	// untaken branch per scheduled event.
+	CollectSimStats bool
 }
 
 // withDefaults fills zero fields with the paper's parameters.
@@ -267,8 +274,12 @@ type Result struct {
 	// time zero plus one step per death. Never empty.
 	AliveTimeline []stats.AliveStep
 
-	// Events is the number of simulator events executed.
-	Events uint64
+	// Events is the number of simulator events executed. PeakQueue is
+	// the deepest the pending-event set got (0 unless
+	// Options.CollectSimStats was set) — the number intra-run
+	// parallelism and event-queue sizing are judged against.
+	Events    uint64
+	PeakQueue int
 	// Timeline is the per-bucket evolution (nil unless
 	// Options.TimelineBucket was set).
 	Timeline *stats.Timeline
@@ -343,6 +354,9 @@ func Build(o Options) (*Network, error) {
 	// calendar default.
 	qkind, _ := sim.ParseQueueKind(o.EventQueue)
 	sched := sim.NewSchedulerQueue(qkind)
+	if o.CollectSimStats {
+		sched.TrackDepth(true)
+	}
 	par := phys.DefaultParams()
 	var model phys.Propagation = phys.NewTwoRayGround(par)
 	var ctrlModel phys.Propagation = model
@@ -557,6 +571,7 @@ func (nw *Network) Run() Result {
 		JainFairness:   nw.Collector.JainFairness(),
 		Flows:          nw.Collector.Flows(),
 		Events:         nw.Sched.Executed(),
+		PeakQueue:      nw.Sched.PeakPending(),
 		Timeline:       nw.Timeline,
 	}
 	var residuals, consumed []float64

@@ -11,6 +11,8 @@ import (
 	"io"
 	"os"
 	"path/filepath"
+
+	"repro/internal/obs"
 )
 
 // DefaultSyncEvery is how many result records land between fsyncs of
@@ -44,6 +46,9 @@ type CheckpointOptions struct {
 	// Open replaces os.OpenFile for the checkpoint (test seam for
 	// fault injection).
 	Open func(path string, flag int, perm os.FileMode) (CheckpointFile, error)
+	// Obs, if non-nil, counts checkpoint records written, fsyncs issued
+	// and durability errors on its Checkpoint* counters.
+	Obs *obs.RunnerMetrics
 }
 
 // WriteFileAtomic writes data to path via a same-directory temp file,
@@ -87,15 +92,16 @@ type checkpointWriter struct {
 	f         CheckpointFile
 	every     int // records per fsync; <=0 = only at close
 	onDegrade func(error)
+	obs       *obs.RunnerMetrics
 	records   int
 	degraded  bool
 }
 
-func newCheckpointWriter(f CheckpointFile, syncEvery int, onDegrade func(error)) *checkpointWriter {
+func newCheckpointWriter(f CheckpointFile, syncEvery int, onDegrade func(error), m *obs.RunnerMetrics) *checkpointWriter {
 	if syncEvery == 0 {
 		syncEvery = DefaultSyncEvery
 	}
-	return &checkpointWriter{f: f, every: syncEvery, onDegrade: onDegrade}
+	return &checkpointWriter{f: f, every: syncEvery, onDegrade: onDegrade, obs: m}
 }
 
 // fail applies the degradation policy to a durability error: in
@@ -103,6 +109,9 @@ func newCheckpointWriter(f CheckpointFile, syncEvery int, onDegrade func(error))
 // campaign keeps streaming; in strict mode it surfaces and aborts
 // execution.
 func (w *checkpointWriter) fail(want, n int, err error) (int, error) {
+	if w.obs != nil {
+		w.obs.CheckpointErrors.Inc()
+	}
 	if w.onDegrade != nil {
 		w.degraded = true
 		w.onDegrade(err)
@@ -121,9 +130,15 @@ func (w *checkpointWriter) Write(p []byte) (int, error) {
 		return w.fail(len(p), n, fmt.Errorf("serve: checkpoint write: %w", err))
 	}
 	w.records++
+	if w.obs != nil {
+		w.obs.CheckpointWrites.Inc()
+	}
 	if w.every > 0 && w.records%w.every == 0 {
 		if err := w.f.Sync(); err != nil {
 			return w.fail(len(p), n, fmt.Errorf("serve: checkpoint sync: %w", err))
+		}
+		if w.obs != nil {
+			w.obs.CheckpointSyncs.Inc()
 		}
 	}
 	return n, nil
@@ -142,9 +157,15 @@ func (w *checkpointWriter) Close() error {
 		err = cerr
 	}
 	if err == nil {
+		if w.obs != nil {
+			w.obs.CheckpointSyncs.Inc()
+		}
 		return nil
 	}
 	err = fmt.Errorf("serve: checkpoint close: %w", err)
+	if w.obs != nil {
+		w.obs.CheckpointErrors.Inc()
+	}
 	if w.onDegrade != nil {
 		w.degraded = true
 		w.onDegrade(err)

@@ -10,10 +10,13 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"strings"
+	"time"
 
 	"repro/internal/geom"
+	"repro/internal/obs"
 	"repro/internal/packet"
 	"repro/internal/runner"
 	"repro/internal/viz"
@@ -24,14 +27,19 @@ const maxSpecBytes = 16 << 20
 
 // Server wires a Service into an http.Handler.
 type Server struct {
-	svc *Service
-	mux *http.ServeMux
+	svc     *Service
+	mux     *http.ServeMux
+	httpDur *obs.HistogramVec
 }
 
 // NewServer builds the HTTP handler for a Service.
 func NewServer(svc *Service) *Server {
 	s := &Server{svc: svc, mux: http.NewServeMux()}
+	s.httpDur = svc.Metrics().HistogramVec("http_request_duration_seconds",
+		"HTTP request latency by method, route pattern and status code.", nil,
+		"method", "path", "code")
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
 	s.mux.HandleFunc("POST /campaigns", s.handleSubmit)
 	s.mux.HandleFunc("GET /campaigns", s.handleList)
 	s.mux.HandleFunc("GET /campaigns/{id}", s.handleStatus)
@@ -43,9 +51,92 @@ func NewServer(svc *Service) *Server {
 	return s
 }
 
-// ServeHTTP implements http.Handler.
+// EnablePprof mounts net/http/pprof under /debug/pprof/ — opt-in
+// (cmd/campaignd's -pprof flag) because profiling endpoints on an
+// internet-facing daemon are an information leak.
+func (s *Server) EnablePprof() {
+	s.mux.HandleFunc("GET /debug/pprof/", pprof.Index)
+	s.mux.HandleFunc("GET /debug/pprof/cmdline", pprof.Cmdline)
+	s.mux.HandleFunc("GET /debug/pprof/profile", pprof.Profile)
+	s.mux.HandleFunc("GET /debug/pprof/symbol", pprof.Symbol)
+	s.mux.HandleFunc("GET /debug/pprof/trace", pprof.Trace)
+}
+
+// statusWriter records the response code for the request metric and
+// log. It passes Flush through so SSE streaming keeps working behind
+// the wrapper.
+type statusWriter struct {
+	http.ResponseWriter
+	code int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	w.code = code
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *statusWriter) Write(p []byte) (int, error) {
+	if w.code == 0 {
+		w.code = http.StatusOK
+	}
+	return w.ResponseWriter.Write(p)
+}
+
+func (w *statusWriter) Flush() {
+	if fl, ok := w.ResponseWriter.(http.Flusher); ok {
+		fl.Flush()
+	}
+}
+
+// ServeHTTP implements http.Handler: resolve the route pattern first
+// (so the metric label is the bounded pattern, never the raw URL),
+// time the request, then record it and write the request log.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
-	s.mux.ServeHTTP(w, r)
+	_, pattern := s.mux.Handler(r)
+	if pattern == "" {
+		pattern = "none"
+	}
+	sw := &statusWriter{ResponseWriter: w}
+	start := time.Now()
+	s.mux.ServeHTTP(sw, r)
+	elapsed := time.Since(start)
+	if sw.code == 0 {
+		sw.code = http.StatusOK
+	}
+	s.httpDur.With(r.Method, pattern, fmt.Sprintf("%d", sw.code)).Observe(elapsed.Seconds())
+	attrs := []any{
+		"method", r.Method,
+		"path", r.URL.Path,
+		"route", pattern,
+		"status", sw.code,
+		"duration_ms", float64(elapsed.Microseconds()) / 1e3,
+		"remote", r.RemoteAddr,
+	}
+	if id := campaignIDFromPath(r.URL.Path); id != "" {
+		attrs = append(attrs, "campaign", id)
+	}
+	s.svc.Logger().Info("http request", attrs...)
+}
+
+// campaignIDFromPath extracts the {id} segment of /campaigns/{id}/...
+// paths for the request log.
+func campaignIDFromPath(path string) string {
+	rest, ok := strings.CutPrefix(path, "/campaigns/")
+	if !ok {
+		return ""
+	}
+	if i := strings.IndexByte(rest, '/'); i >= 0 {
+		rest = rest[:i]
+	}
+	return rest
+}
+
+// handleMetrics serves the registry in Prometheus text exposition
+// format 0.0.4.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	w.WriteHeader(http.StatusOK)
+	_ = s.svc.Metrics().WritePrometheus(w)
 }
 
 // httpError writes a JSON error with the given status. Write failures
@@ -164,6 +255,8 @@ func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Cache-Control", "no-cache")
 	w.WriteHeader(http.StatusOK)
 
+	c.gSSE.Add(1)
+	defer c.gSSE.Add(-1)
 	history, live, cancel := c.Subscribe()
 	defer cancel()
 

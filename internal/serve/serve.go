@@ -14,12 +14,14 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"log/slog"
 	"os"
 	"path/filepath"
 	"strings"
 	"sync"
 	"time"
 
+	"repro/internal/obs"
 	"repro/internal/runner"
 )
 
@@ -99,7 +101,7 @@ func RunCampaignDurable(ctx context.Context, c runner.Campaign, path string, res
 		case ferr != nil:
 			return runner.Summary{}, fmt.Errorf("serve: %w", ferr)
 		default:
-			w := newCheckpointWriter(f, ckpt.SyncEvery, ckpt.OnDegrade)
+			w := newCheckpointWriter(f, ckpt.SyncEvery, ckpt.OnDegrade, ckpt.Obs)
 			defer func() {
 				if cerr := w.Close(); cerr != nil && err == nil {
 					err = cerr
@@ -149,6 +151,17 @@ type Options struct {
 	// OpenCheckpoint replaces os.OpenFile for results.jsonl files
 	// (fault-injection seam for chaos tests).
 	OpenCheckpoint func(path string, flag int, perm os.FileMode) (CheckpointFile, error)
+	// Timing opts every campaign's executed records into the per-run
+	// wall_ms/peak_queue fields (runner.ExecOptions.Timing). Off by
+	// default: wall_ms makes checkpoints machine-dependent, breaking the
+	// daemon-vs-CLI byte-identity guarantee.
+	Timing bool
+	// Registry receives the service's metrics (nil = a private one; use
+	// Service.Metrics to serve it). Each Service owns its own registry
+	// so several services in one process never collide.
+	Registry *obs.Registry
+	// Logger receives lifecycle and request logs (nil = discard).
+	Logger *slog.Logger
 }
 
 // Service owns the campaigns of one daemon: submission, sharded
@@ -162,6 +175,18 @@ type Service struct {
 	ctx    context.Context
 	cancel context.CancelFunc
 	wg     sync.WaitGroup
+
+	log     *slog.Logger
+	reg     *obs.Registry
+	rm      *obs.RunnerMetrics
+	started time.Time
+	// Per-campaign gauge families, resolved to one series per campaign
+	// ID at submission.
+	gDone     *obs.GaugeVec
+	gTotal    *obs.GaugeVec
+	gFailed   *obs.GaugeVec
+	gDegraded *obs.GaugeVec
+	gSSE      *obs.GaugeVec
 
 	mu       sync.Mutex
 	camps    map[string]*Campaign
@@ -180,18 +205,42 @@ func NewService(dir string, opts Options) (*Service, error) {
 	}
 	ctx, cancel := context.WithCancel(context.Background())
 	s := &Service{
-		dir:    dir,
-		opts:   opts,
-		ctx:    ctx,
-		cancel: cancel,
-		camps:  make(map[string]*Campaign),
+		dir:     dir,
+		opts:    opts,
+		ctx:     ctx,
+		cancel:  cancel,
+		camps:   make(map[string]*Campaign),
+		log:     opts.Logger,
+		reg:     opts.Registry,
+		started: time.Now(),
 	}
+	if s.log == nil {
+		s.log = obs.Discard()
+	}
+	if s.reg == nil {
+		s.reg = obs.NewRegistry()
+	}
+	s.rm = obs.NewRunnerMetrics(s.reg)
+	obs.RegisterBuildInfo(s.reg, obs.BuildInfo())
+	s.reg.GaugeFunc("campaignd_uptime_seconds", "Seconds since the service started.",
+		func() float64 { return time.Since(s.started).Seconds() })
+	s.gDone = s.reg.GaugeVec("campaign_done_runs", "Runs emitted so far for the campaign.", "campaign")
+	s.gTotal = s.reg.GaugeVec("campaign_total_runs", "The campaign's total run count.", "campaign")
+	s.gFailed = s.reg.GaugeVec("campaign_failed_runs", "Quarantined runs in the campaign so far.", "campaign")
+	s.gDegraded = s.reg.GaugeVec("campaign_degraded", "1 when the campaign lost its checkpoint disk and streams in-memory.", "campaign")
+	s.gSSE = s.reg.GaugeVec("campaign_sse_subscribers", "Open SSE event streams for the campaign.", "campaign")
 	if err := s.resumePersisted(); err != nil {
 		cancel()
 		return nil, err
 	}
 	return s, nil
 }
+
+// Metrics exposes the service's registry (for GET /metrics and tests).
+func (s *Service) Metrics() *obs.Registry { return s.reg }
+
+// Logger exposes the service's logger for the HTTP layer.
+func (s *Service) Logger() *slog.Logger { return s.log }
 
 // resumePersisted relaunches every campaign with a spec.json under the
 // state dir. Checkpointed runs replay instantly (resumed, not
@@ -274,10 +323,17 @@ func (s *Service) Submit(cf runner.CampaignFile) (c *Campaign, created bool, err
 		agg:     runner.NewAggregate(),
 		hub:     newHub(),
 		done:    make(chan struct{}),
+		log:     s.log.With("campaign", id),
+		gDone:   s.gDone.With(id),
+		gFailed: s.gFailed.With(id),
+		gDegr:   s.gDegraded.With(id),
+		gSSE:    s.gSSE.With(id),
 	}
+	s.gTotal.With(id).Set(float64(len(runs)))
 	s.camps[id] = c
 	s.order = append(s.order, id)
 	s.launch(c)
+	c.log.Info("campaign submitted", "name", camp.Name, "runs", len(runs))
 	return c, true, nil
 }
 
@@ -293,6 +349,8 @@ func (s *Service) launch(c *Campaign) {
 		RunTimeout:    s.opts.RunTimeout,
 		NoRetryFailed: s.opts.NoRetryFailed,
 		OnRetry:       c.onRetry,
+		Obs:           s.rm,
+		Timing:        s.opts.Timing,
 	}
 	if hook := s.opts.RunHook; hook != nil {
 		exec.RunHook = func(r runner.Run, attempt int) { hook(r.Key, attempt) }
@@ -301,6 +359,7 @@ func (s *Service) launch(c *Campaign) {
 		SyncEvery: s.opts.SyncEvery,
 		OnDegrade: c.onDegrade,
 		Open:      s.opts.OpenCheckpoint,
+		Obs:       s.rm,
 	}
 	s.wg.Add(1)
 	go func() {
@@ -352,8 +411,23 @@ func (s *Service) Cancel(id string) (*Campaign, error) {
 // its checkpoints settle.
 func (s *Service) StartDrain() {
 	s.mu.Lock()
+	already := s.draining
 	s.draining = true
+	camps := make([]*Campaign, 0, len(s.camps))
+	for _, c := range s.camps {
+		camps = append(camps, c)
+	}
 	s.mu.Unlock()
+	if already {
+		return
+	}
+	running := 0
+	for _, c := range camps {
+		if c.Status().State == StateRunning {
+			running++
+		}
+	}
+	s.log.Info("draining: rejecting new specs until running campaigns settle", "running", running)
 }
 
 // Draining reports whether StartDrain was called.
@@ -376,6 +450,10 @@ type Health struct {
 	// counts campaigns in degraded (checkpoint-less) mode.
 	FailedRuns int `json:"failed_runs,omitempty"`
 	Degraded   int `json:"degraded,omitempty"`
+	// UptimeS is seconds since the service started; Build describes the
+	// binary (also exported as the campaignd_build_info metric).
+	UptimeS float64   `json:"uptime_s"`
+	Build   obs.Build `json:"build"`
 }
 
 // Health snapshots service health across all campaigns.
@@ -388,7 +466,12 @@ func (s *Service) Health() Health {
 	draining := s.draining
 	s.mu.Unlock()
 
-	h := Health{Status: "ok", Campaigns: len(camps)}
+	h := Health{
+		Status:    "ok",
+		Campaigns: len(camps),
+		UptimeS:   time.Since(s.started).Seconds(),
+		Build:     obs.BuildInfo(),
+	}
 	for _, c := range camps {
 		st := c.Status()
 		if st.State == StateRunning {
@@ -428,6 +511,14 @@ type Campaign struct {
 	cancel context.CancelFunc
 	done   chan struct{}
 	hub    *hub
+
+	log *slog.Logger
+	// Resolved per-campaign gauge series (label: campaign ID); gSSE is
+	// driven by the HTTP event-stream handler.
+	gDone   *obs.Gauge
+	gFailed *obs.Gauge
+	gDegr   *obs.Gauge
+	gSSE    *obs.Gauge
 
 	mu          sync.Mutex
 	state       string
@@ -581,6 +672,7 @@ func (c *Campaign) AggregatePoints() []*runner.Point {
 // publish "run_failed" instead of "result" — failure is a first-class
 // frame in the stream, not a dropped position.
 func (c *Campaign) RunDone(ev runner.RunEvent) {
+	c.gDone.Set(float64(ev.Done))
 	c.mu.Lock()
 	c.doneRuns = ev.Done
 	if ev.Resumed {
@@ -590,6 +682,7 @@ func (c *Campaign) RunDone(ev runner.RunEvent) {
 	}
 	if ev.Result.Failed() {
 		c.failed++
+		c.gFailed.Set(float64(c.failed))
 	}
 	c.agg.Add(ev.Run, ev.Result)
 	// Publish a refreshed aggregate table roughly every decile of a
@@ -622,6 +715,7 @@ func (c *Campaign) onRetry(ev runner.RetryEvent) {
 	c.mu.Lock()
 	c.retried++
 	c.mu.Unlock()
+	c.log.Warn("run retried", "key", ev.Run.Key, "attempt", ev.Attempt, "err", ev.Err, "backoff", ev.Backoff)
 	c.hub.publish("run_retried", retryEvent{
 		Key:      ev.Run.Key,
 		Attempt:  ev.Attempt,
@@ -641,6 +735,8 @@ func (c *Campaign) onDegrade(err error) {
 	c.degradedErr = err.Error()
 	c.mu.Unlock()
 	if !already {
+		c.gDegr.Set(1)
+		c.log.Error("checkpoint degraded to in-memory streaming", "err", err)
 		c.hub.publish("degraded", degradedEvent{Error: err.Error()})
 	}
 }
@@ -665,6 +761,15 @@ func (c *Campaign) finish(sum runner.Summary, err error) {
 	errMsg := c.errMsg
 	csv, _ := c.aggregateCSVLocked()
 	c.mu.Unlock()
+
+	switch st {
+	case StateDone:
+		c.log.Info("campaign finished", "executed", executed, "resumed", resumed, "failed", failed, "elapsed_s", sum.Elapsed.Seconds())
+	case StateCanceled:
+		c.log.Info("campaign canceled", "done", doneRuns, "total", total)
+	default:
+		c.log.Error("campaign failed", "err", errMsg, "done", doneRuns, "total", total)
+	}
 
 	c.hub.publish("aggregate", aggregateEvent{Done: doneRuns, Total: total, CSV: csv})
 	c.hub.publish("done", doneEvent{

@@ -1,0 +1,62 @@
+package sim
+
+import "testing"
+
+// TestTrackDepthPeak: the tracked peak is the high-water mark of the
+// pending set across all three scheduling paths (closure events, typed
+// pooled events, timers), and stays frozen once tracking is the
+// default off.
+func TestTrackDepthPeak(t *testing.T) {
+	s := NewScheduler()
+	s.TrackDepth(true)
+	noop := func() {}
+	for i := 0; i < 5; i++ {
+		s.Schedule(Duration(i+1)*Millisecond, noop)
+	}
+	h := handlerFunc(func() {})
+	s.ScheduleEvent(6*Millisecond, h, 0, nil, 0) // depth 6
+	tm := NewTimer(s, noop)
+	tm.Start(7 * Millisecond) // depth 7
+	if got := s.PeakPending(); got != 7 {
+		t.Fatalf("peak = %d, want 7", got)
+	}
+	s.RunAll()
+	if got := s.PeakPending(); got != 7 {
+		t.Fatalf("peak after drain = %d, want 7 (a high-water mark, not a level)", got)
+	}
+	if s.Pending() != 0 {
+		t.Fatalf("pending = %d after RunAll", s.Pending())
+	}
+}
+
+// TestTrackDepthOffByDefault: without TrackDepth the scheduler reports
+// zero regardless of load — the zero-overhead contract's observable
+// half.
+func TestTrackDepthOffByDefault(t *testing.T) {
+	s := NewScheduler()
+	for i := 0; i < 100; i++ {
+		s.Schedule(Duration(i+1)*Microsecond, func() {})
+	}
+	if got := s.PeakPending(); got != 0 {
+		t.Fatalf("peak = %d with tracking off, want 0", got)
+	}
+	s.RunAll()
+}
+
+// TestTrackDepthLateEnable: enabling mid-run seeds the peak with the
+// current depth so an already-loaded queue is not reported as empty.
+func TestTrackDepthLateEnable(t *testing.T) {
+	s := NewScheduler()
+	for i := 0; i < 10; i++ {
+		s.Schedule(Duration(i+1)*Millisecond, func() {})
+	}
+	s.TrackDepth(true)
+	if got := s.PeakPending(); got != 10 {
+		t.Fatalf("peak = %d right after enable, want 10", got)
+	}
+}
+
+// handlerFunc adapts a func to EventHandler for tests.
+type handlerFunc func()
+
+func (f handlerFunc) HandleEvent(int32, any, float64) { f() }

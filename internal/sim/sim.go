@@ -125,6 +125,12 @@ type Scheduler struct {
 	// Executed counts events that have fired, for diagnostics and for
 	// runaway detection in tests.
 	executed uint64
+
+	// Peak pending-depth tracking (TrackDepth): off by default so the
+	// push hot paths pay nothing but an untaken branch; a pure observer
+	// either way — it never touches event order, time, or RNG streams.
+	trackDepth  bool
+	peakPending int
 }
 
 // NewScheduler returns a scheduler with the clock at zero, using the
@@ -156,6 +162,34 @@ func (s *Scheduler) Executed() uint64 { return s.executed }
 // Pending returns the number of events currently queued.
 func (s *Scheduler) Pending() int { return s.q.len() }
 
+// TrackDepth enables (or disables) peak pending-depth tracking. It is
+// off by default: with it off the schedule paths pay a single untaken
+// branch, and with it on they only fold the queue length into a
+// maximum — a pure observation that cannot perturb event order, so
+// runs are byte-identical either way (the scenario sim-stats soundness
+// tests diff whole runs to prove it).
+func (s *Scheduler) TrackDepth(on bool) {
+	s.trackDepth = on
+	if on && s.q.len() > s.peakPending {
+		s.peakPending = s.q.len()
+	}
+}
+
+// PeakPending reports the deepest the pending-event set has been while
+// depth tracking was enabled (0 if it never was). The calendar queue's
+// sizing — and any future intra-run parallelism — is judged against
+// this number.
+func (s *Scheduler) PeakPending() int { return s.peakPending }
+
+// notePush folds the post-push queue depth into the tracked peak.
+func (s *Scheduler) notePush() {
+	if s.trackDepth {
+		if n := s.q.len(); n > s.peakPending {
+			s.peakPending = n
+		}
+	}
+}
+
 // Schedule queues fn to run d after the current time and returns the
 // event handle, which may be cancelled. Negative d panics: the kernel
 // never travels backwards.
@@ -178,6 +212,7 @@ func (s *Scheduler) At(t Time, fn func()) *Event {
 	e := &Event{at: t, seq: s.seq, fn: fn, index: -1}
 	s.seq++
 	s.q.push(e)
+	s.notePush()
 	return e
 }
 
@@ -203,6 +238,7 @@ func (s *Scheduler) ScheduleEvent(d Duration, h EventHandler, kind int32, arg an
 	e.seq = s.seq
 	s.seq++
 	s.q.push(e)
+	s.notePush()
 }
 
 // scheduleOwned queues a pooled typed event and returns its handle to an
@@ -219,6 +255,7 @@ func (s *Scheduler) scheduleOwned(t Time, h EventHandler) *Event {
 	e.seq = s.seq
 	s.seq++
 	s.q.push(e)
+	s.notePush()
 	return e
 }
 

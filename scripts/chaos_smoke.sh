@@ -5,7 +5,10 @@
 # the out-of-process half of the chaos suite (internal/serve/chaos_test.go
 # covers in-process kills): a real kill -9 tears whatever write was in
 # flight, so restart recovery (RepairCheckpoint + resume) is what makes
-# the final cmp pass.
+# the final cmp pass. A last SIGTERM phase asserts the graceful-drain
+# log line, so shutdown visibility is covered too.
+#
+# Daemon logs land in $tmp/daemon-N.log and are dumped on failure.
 #
 #   make chaos-smoke            # or: sh scripts/chaos_smoke.sh
 #   KILLS=5 sh scripts/chaos_smoke.sh
@@ -17,8 +20,16 @@ KILLS=${KILLS:-3}
 
 tmp=$(mktemp -d)
 pid=""
+failed=1
 cleanup() {
 	[ -n "$pid" ] && kill -9 "$pid" 2>/dev/null || true
+	if [ "$failed" = 1 ]; then
+		for f in "$tmp"/daemon-*.log; do
+			[ -f "$f" ] || continue
+			echo "chaos-smoke: --- $f ---" >&2
+			cat "$f" >&2
+		done
+	fi
 	rm -rf "$tmp"
 }
 trap cleanup EXIT
@@ -42,7 +53,7 @@ $GO build -o "$tmp/campaignd" ./cmd/campaignd
 id=""
 i=1
 while [ "$i" -le "$KILLS" ]; do
-	"$tmp/campaignd" -addr "$ADDR" -dir "$tmp/state" -workers 1 2>/dev/null &
+	"$tmp/campaignd" -addr "$ADDR" -dir "$tmp/state" -workers 1 2>"$tmp/daemon-$i.log" &
 	pid=$!
 	wait_healthz
 	if [ "$i" = 1 ]; then
@@ -59,7 +70,7 @@ while [ "$i" -le "$KILLS" ]; do
 done
 
 # Final life: resume from whatever the kills left behind and finish.
-"$tmp/campaignd" -addr "$ADDR" -dir "$tmp/state" 2>/dev/null &
+"$tmp/campaignd" -addr "$ADDR" -dir "$tmp/state" 2>"$tmp/daemon-final.log" &
 pid=$!
 wait_healthz
 state=""
@@ -74,4 +85,29 @@ if [ "$state" != done ]; then
 fi
 curl -sf "http://$ADDR/campaigns/$id/results.jsonl" >"$tmp/served.jsonl"
 cmp "$tmp/cli.jsonl" "$tmp/served.jsonl"
-echo "chaos-smoke: ok ($(wc -l <"$tmp/served.jsonl") records byte-identical after $KILLS SIGKILLs)"
+
+# Metrics on the surviving daemon: the completed-run counter must cover
+# this life's emissions (checkpoint replays count as resumed completions).
+records=$(wc -l <"$tmp/served.jsonl" | tr -d ' ')
+completed=$(curl -sf "http://$ADDR/metrics" | awk '$1 == "campaign_runs_completed_total" {print int($2)}')
+if [ "${completed:-0}" -ne "$records" ]; then
+	echo "chaos-smoke: campaign_runs_completed_total=$completed, want $records" >&2
+	exit 1
+fi
+
+# Graceful exit: SIGTERM must drain, and the drain must be visible in
+# the log at default level (this was silent before structured logging).
+kill -TERM "$pid"
+wait "$pid" 2>/dev/null || true
+pid=""
+if ! grep -q "draining (signal again to force exit)" "$tmp/daemon-final.log"; then
+	echo "chaos-smoke: drain start not logged on SIGTERM" >&2
+	exit 1
+fi
+if ! grep -q "drain complete" "$tmp/daemon-final.log"; then
+	echo "chaos-smoke: drain completion not logged" >&2
+	exit 1
+fi
+
+failed=0
+echo "chaos-smoke: ok ($records records byte-identical after $KILLS SIGKILLs; drain logged)"
