@@ -107,6 +107,13 @@ type Radio struct {
 	// EnergyTxJ accumulates radiated energy, the quantity power control
 	// trades against capacity.
 	EnergyTxJ float64
+
+	// region is the spatial shard this radio's events are routed to
+	// under the scheduler's region executive (sim.Regioned). Assignment
+	// is pure load balancing — the deterministic merge makes any value
+	// correct — so it is fixed at build time from the initial position
+	// rather than chased across mobility epochs.
+	region int
 }
 
 // powerRow pairs one discrete transmit power level with its cached
@@ -185,6 +192,14 @@ func (r *Radio) CarrierBusy() bool {
 
 // SetTxObserver installs the transmit-start observer (nil disables).
 func (r *Radio) SetTxObserver(o TxObserver) { r.txObs = o }
+
+// SetRegion assigns the radio to a spatial region shard for the
+// scheduler's region executive.
+func (r *Radio) SetRegion(region int) { r.region = region }
+
+// EventRegion implements sim.Regioned: arrival and tx-done events whose
+// handler is this radio land on its region's shard.
+func (r *Radio) EventRegion() int { return r.region }
 
 // Off reports whether the radio is powered down.
 func (r *Radio) Off() bool { return r.off }

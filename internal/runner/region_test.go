@@ -1,0 +1,169 @@
+package runner
+
+import (
+	"bytes"
+	"context"
+	"strings"
+	"testing"
+
+	"repro/internal/mac"
+	"repro/internal/scenario"
+	"repro/internal/sim"
+)
+
+// TestExecuteRegionIdentical is the campaign-level half of the region
+// determinism proof, mirroring TestExecuteGridLinearIdentical: the
+// same campaign executed with Base.Regions = 4 must emit byte-identical
+// JSONL to the sequential execution — and since a single-value Regions
+// override adds no key segment, the run keys (and derived seeds) are
+// identical too.
+func TestExecuteRegionIdentical(t *testing.T) {
+	base := scenario.Options{
+		Duration: 2 * sim.Second,
+		Warmup:   sim.Duration(sim.Second / 2),
+		SpeedMin: 20,
+		SpeedMax: 20,
+	}
+	cases := []struct {
+		name string
+		c    Campaign
+	}{
+		{
+			name: "mobile",
+			c: Campaign{
+				Name:      "regions-mobile",
+				Base:      withNodes(base, 40),
+				Schemes:   []mac.Scheme{mac.Basic, mac.PCMAC},
+				LoadsKbps: []float64{300},
+				Reps:      1,
+			},
+		},
+		{
+			name: "fading",
+			c: Campaign{
+				Name:        "regions-fading",
+				Base:        withNodes(base, 30),
+				Schemes:     []mac.Scheme{mac.PCMAC},
+				LoadsKbps:   []float64{300},
+				ShadowingDB: []float64{4},
+				Reps:        1,
+			},
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var seq bytes.Buffer
+			if _, err := Execute(context.Background(), tc.c, ExecOptions{Workers: 2, Out: &seq}); err != nil {
+				t.Fatal(err)
+			}
+			if seq.Len() == 0 {
+				t.Fatal("campaign emitted nothing")
+			}
+			regionCamp := tc.c
+			regionCamp.Base.Regions = 4
+			var par bytes.Buffer
+			if _, err := Execute(context.Background(), regionCamp, ExecOptions{Workers: 2, Out: &par}); err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(seq.Bytes(), par.Bytes()) {
+				t.Fatalf("region JSONL differs from sequential:\n--- sequential ---\n%s--- regions ---\n%s",
+					seq.String(), par.String())
+			}
+		})
+	}
+}
+
+// TestRegionsAxisKeys pins the grid plumbing: a swept Regions axis
+// contributes an r= key segment (after q=, per the fixed axis order)
+// and expands the run list, while a Base.Regions override leaves keys
+// untouched.
+func TestRegionsAxisKeys(t *testing.T) {
+	c := tinyCampaign()
+	c.Regions = []int{1, 4}
+	runs, err := c.Runs()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(runs) != 16 { // 2 schemes x 2 loads x 2 reps x 2 region counts
+		t.Fatalf("got %d runs, want 16", len(runs))
+	}
+	seen := map[int]int{}
+	for _, r := range runs {
+		switch {
+		case strings.Contains(r.Key, "/r=1"):
+			seen[1]++
+			if r.Opts.Regions != 1 {
+				t.Errorf("%s: Opts.Regions = %d, want 1", r.Key, r.Opts.Regions)
+			}
+		case strings.Contains(r.Key, "/r=4"):
+			seen[4]++
+			if r.Opts.Regions != 4 {
+				t.Errorf("%s: Opts.Regions = %d, want 4", r.Key, r.Opts.Regions)
+			}
+		default:
+			t.Errorf("run key %q lacks an r= segment", r.Key)
+		}
+	}
+	if seen[1] != 8 || seen[4] != 8 {
+		t.Fatalf("region counts unbalanced across keys: %v", seen)
+	}
+
+	c = tinyCampaign()
+	c.Base.Regions = 4
+	runs, err = c.Runs()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(runs) != 8 {
+		t.Fatalf("base override expanded the grid: %d runs", len(runs))
+	}
+	for _, r := range runs {
+		if strings.Contains(r.Key, "r=") {
+			t.Errorf("base override leaked into key %q", r.Key)
+		}
+		if r.Opts.Regions != 4 {
+			t.Errorf("%s: Opts.Regions = %d, want 4", r.Key, r.Opts.Regions)
+		}
+	}
+}
+
+// TestResumeAcrossRegionCounts proves checkpoints are portable across
+// region counts: execute a campaign sequentially, resume from a prefix
+// of its checkpoint with Regions = 4, and the completed output must be
+// byte-identical to the uninterrupted sequential run. This is what
+// makes -regions safe to change on a -resume invocation.
+func TestResumeAcrossRegionCounts(t *testing.T) {
+	c := tinyCampaign()
+	var full bytes.Buffer
+	if _, err := Execute(context.Background(), c, ExecOptions{Workers: 2, Out: &full}); err != nil {
+		t.Fatal(err)
+	}
+	lines := bytes.SplitAfter(full.Bytes(), []byte("\n"))
+	if len(lines) < 3 {
+		t.Fatalf("campaign too small to split: %d lines", len(lines))
+	}
+	prefix := bytes.Join(lines[:2], nil)
+	done, err := LoadResults(bytes.NewReader(prefix))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resumed := c
+	resumed.Base.Regions = 4
+	var rest bytes.Buffer
+	sum, err := Execute(context.Background(), resumed, ExecOptions{
+		Workers:   2,
+		Out:       &rest,
+		Completed: ResumeSet(done),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum.Executed != sum.Total-len(done) {
+		t.Fatalf("resumed execution ran %d of %d runs with %d checkpointed", sum.Executed, sum.Total, len(done))
+	}
+	got := append(append([]byte{}, prefix...), rest.Bytes()...)
+	if !bytes.Equal(got, full.Bytes()) {
+		t.Fatalf("checkpoint + region-4 remainder differs from sequential campaign:\n--- stitched ---\n%s--- full ---\n%s",
+			got, full.String())
+	}
+}

@@ -1,0 +1,135 @@
+package scenario
+
+import (
+	"testing"
+
+	"repro/internal/mac"
+	"repro/internal/sim"
+)
+
+// regionsVsSequential diffs a whole simulation between the sequential
+// scheduler and the region executive at the given region count: the
+// deterministic window merge must be invisible in every metric, or the
+// parallel path reordered at least one event (and with it the shared
+// RNG streams and everything downstream).
+func regionsVsSequential(t *testing.T, name string, o Options, regions int) {
+	t.Helper()
+	seq, err := Run(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	o.Regions = regions
+	par, err := Run(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seq.Events == 0 {
+		t.Fatalf("%s: empty run proves nothing", name)
+	}
+	equalResults(t, name, seq, par)
+	if par.SimWindows == 0 {
+		t.Errorf("%s: region run reports zero synchronization windows", name)
+	}
+	var sum uint64
+	for _, n := range par.RegionEvents {
+		sum += n
+	}
+	if sum != par.Events {
+		t.Errorf("%s: per-region events sum to %d, total %d", name, sum, par.Events)
+	}
+}
+
+// TestRegionSoundMobile is the flagship 1-vs-N diff: fast waypoint
+// motion drags radios across strip boundaries all run long, so every
+// cross-region delivery, mailbox hop, and stale strip assignment is
+// exercised.
+func TestRegionSoundMobile(t *testing.T) {
+	regionsVsSequential(t, "regions-mobile", linkCacheOpts(0), 4)
+}
+
+// TestRegionSoundMobileManyRegions pushes the shard count past the
+// node density so some strips are near-empty — the degenerate
+// decomposition must still merge identically.
+func TestRegionSoundMobileManyRegions(t *testing.T) {
+	regionsVsSequential(t, "regions-mobile-8", linkCacheOpts(0), 8)
+}
+
+// TestRegionSoundFading overlays log-normal fading: the fade RNG is a
+// single shared stream consumed in delivery order, the most fragile
+// global state the merge must preserve.
+func TestRegionSoundFading(t *testing.T) {
+	regionsVsSequential(t, "regions-fading", linkCacheOpts(4.0), 2)
+}
+
+// TestRegionSoundStatic covers the paper's pinned Figure 1 topology
+// under PCMAC with its control channel: two channels assigning regions
+// over the same geometry.
+func TestRegionSoundStatic(t *testing.T) {
+	o := Fig1Options(mac.PCMAC)
+	o.Duration = 3 * sim.Second
+	o.Warmup = sim.Duration(sim.Second / 2)
+	regionsVsSequential(t, "regions-static", o, 4)
+}
+
+// TestRegionSoundBattery adds battery depletion: node death cancels
+// timer chains and powers radios off mid-run, the cancel-heavy path
+// (zombies crossing window barriers) the merge must drop in exactly
+// the sequential order.
+func TestRegionSoundBattery(t *testing.T) {
+	o := linkCacheOpts(0)
+	o.BatteryJ = 2
+	regionsVsSequential(t, "regions-battery", o, 4)
+}
+
+// TestRegionSimStats checks the -timing aggregation semantics under
+// the region executive: events count identically (the merge commits
+// each exactly once), and PeakQueue reports the max per-region depth —
+// positive, and no deeper than the sequential global queue ever was.
+func TestRegionSimStats(t *testing.T) {
+	o := linkCacheOpts(0)
+	o.CollectSimStats = true
+	seq, err := Run(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	o.Regions = 4
+	par, err := Run(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	equalResults(t, "regions-simstats", seq, par)
+	if seq.PeakQueue <= 0 || par.PeakQueue <= 0 {
+		t.Fatalf("peak queue not tracked: seq %d, par %d", seq.PeakQueue, par.PeakQueue)
+	}
+	if par.PeakQueue > seq.PeakQueue {
+		t.Errorf("max per-region peak %d exceeds sequential global peak %d", par.PeakQueue, seq.PeakQueue)
+	}
+	if seq.SimWindows != 0 || seq.RegionEvents != nil {
+		t.Errorf("sequential run carries region telemetry: windows=%d regions=%v", seq.SimWindows, seq.RegionEvents)
+	}
+}
+
+// TestRegionConfigRoundTrip pins the spec-file plumbing: regions
+// survives the FileConfig round trip and out-of-range values are
+// rejected at spec time.
+func TestRegionConfigRoundTrip(t *testing.T) {
+	o := linkCacheOpts(0)
+	o.Regions = 4
+	fc := ToFileConfig(o)
+	if fc.Regions != 4 {
+		t.Fatalf("ToFileConfig dropped regions: %d", fc.Regions)
+	}
+	back, err := fc.Options()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Regions != 4 {
+		t.Fatalf("round trip lost regions: %d", back.Regions)
+	}
+	for _, bad := range []int{-1, MaxRegions + 1} {
+		o.Regions = bad
+		if err := Validate(o); err == nil {
+			t.Errorf("regions=%d validated", bad)
+		}
+	}
+}

@@ -1,0 +1,457 @@
+// Region-decomposed conservative execution: the scheduler's pending
+// event set is partitioned across R region shards, each owning its own
+// eventQueue and a worker goroutine, and the run advances in
+// synchronization windows. Within a window the workers maintain their
+// shards in parallel — drain the cross-region mailboxes into the
+// calendars, pop the window's events into per-region staged streams —
+// and the committer then executes handlers sequentially in the exact
+// global (time, seq) order by k-way-merging the staged streams. Every
+// handler therefore observes precisely the state it would have observed
+// under the sequential scheduler: the event trace, every RNG draw, and
+// all JSONL output are byte-identical to a 0-region run by
+// construction, not by lookahead arithmetic. (Radio propagation delay
+// at a contiguous region boundary is nanoseconds — a conservative
+// lookahead there collapses to zero — so the merge imposes the total
+// order instead, and the window width W is a pure performance knob:
+// any W yields the same results.)
+//
+// Concurrency discipline: phases alternate strictly. Workers act only
+// between a command send and their reply (drain + stage); the
+// committer touches mailboxes and staged streams only outside that
+// interval. All cross-goroutine edges are channel sends, so the
+// executive is race-free under -race with no atomics on the event hot
+// path.
+package sim
+
+import (
+	"fmt"
+	"time"
+)
+
+// Regioned is an optional EventHandler capability: handlers that know
+// which spatial region they belong to (phys.Radio reports the tile of
+// its position) route their events to that region's shard. Handlers
+// without it inherit the region of the event being committed, which
+// keeps a node's timer chains on the shard that created them. Routing
+// is pure load balancing: the deterministic merge imposes the global
+// order regardless of which shard queued an event, so any assignment —
+// even a wrong one — is correct, only slower.
+type Regioned interface {
+	EventRegion() int
+}
+
+// Event locations in region mode, committer-maintained. locDone is the
+// zero value so sequential-mode events never leave it.
+const (
+	locDone    int8 = iota // fired, dropped, or never in region custody
+	locPending             // in a mailbox, a shard queue, or a staged stream
+	locHot                 // in the committer's in-window hot heap
+)
+
+// regionShard is one region's share of the pending-event set.
+type regionShard struct {
+	// q is the shard's own pending set; only the worker touches it
+	// between command and reply, only the committer outside that
+	// interval (unstage after Stop).
+	q eventQueue
+
+	// mail receives cross-window pushes from the committer; the worker
+	// drains it into q at the next window barrier.
+	mail []*Event
+
+	// staged is the window's events in (at, seq) order, popped by the
+	// worker, consumed by the committer's merge from position spos.
+	staged []*Event
+	spos   int
+
+	// next lower-bounds the shard's earliest pending instant: exact
+	// after every barrier (the worker reports its post-stage peekMin,
+	// and the committer min-folds every mailbox append).
+	next Time
+
+	// live/peak: committer-side pending count and high-water mark;
+	// committed counts events this shard fed through the merge.
+	live, peak int
+	committed  uint64
+
+	cmd chan Time // windowEnd broadcast; closing it retires the worker
+	rep chan Time // worker's post-stage peekMin (MaxTime when empty)
+}
+
+// work is the shard's worker loop: per window, file the mailbox into
+// the calendar, pop everything before windowEnd into the staged
+// stream, and report the next pending instant.
+func (sh *regionShard) work(done chan<- struct{}) {
+	defer func() { done <- struct{}{} }()
+	for we := range sh.cmd {
+		for i, e := range sh.mail {
+			sh.q.push(e)
+			sh.mail[i] = nil
+		}
+		sh.mail = sh.mail[:0]
+		sh.staged = sh.staged[:0]
+		sh.spos = 0
+		for {
+			e := sh.q.peekMin()
+			if e == nil || e.at >= we {
+				break
+			}
+			sh.q.popMin()
+			sh.staged = append(sh.staged, e)
+		}
+		next := MaxTime
+		if e := sh.q.peekMin(); e != nil {
+			next = e.at
+		}
+		sh.rep <- next
+	}
+}
+
+// Region-window tuning: the window width adapts to event density —
+// double below regionWindowLo committed events per window, halve above
+// regionWindowHi — between the configured lookahead floor and a 100 ms
+// ceiling. The tuning trajectory depends only on the (deterministic)
+// committed-event counts, and the width affects wall time only, never
+// results.
+const (
+	regionWindowLo  = 256
+	regionWindowHi  = 4096
+	regionWindowMax = 100 * Millisecond
+)
+
+// RegionStat is one region's executive telemetry at end of run.
+type RegionStat struct {
+	// Committed is how many events the region fed through the merge;
+	// PeakPending its deepest pending count (0 unless TrackDepth).
+	Committed   uint64
+	PeakPending int
+}
+
+// EnableRegions partitions the scheduler's pending-event set into n
+// region shards with their own queues and worker goroutines, executed
+// under the deterministic window merge. It must be called before any
+// event is scheduled (the scenario builder enables it right after
+// construction); n must be at least 2. Run/RunAll then use the region
+// executive; Step is unavailable in region mode.
+func (s *Scheduler) EnableRegions(n int) {
+	if n < 2 {
+		panic(fmt.Sprintf("sim: EnableRegions(%d): need at least 2 regions", n))
+	}
+	if s.regions != nil {
+		panic("sim: EnableRegions called twice")
+	}
+	if s.seq != 0 || s.q.len() != 0 {
+		panic("sim: EnableRegions after events were scheduled")
+	}
+	s.regions = make([]*regionShard, n)
+	for i := range s.regions {
+		s.regions[i] = &regionShard{
+			q:    newEventQueue(s.kind),
+			next: MaxTime,
+		}
+	}
+	s.window = 10 * Microsecond
+	s.windowMin = Microsecond
+}
+
+// Regions reports the region count (0 when sequential).
+func (s *Scheduler) Regions() int { return len(s.regions) }
+
+// SetRegionLookahead floors the synchronization window at the given
+// duration — the scenario passes the propagation spread of the field
+// plus its mobility slack. Results are identical for any value (the
+// merge is global); the floor only bounds how often the executive
+// pays a barrier.
+func (s *Scheduler) SetRegionLookahead(d Duration) {
+	if s.regions == nil {
+		return
+	}
+	if d < Microsecond {
+		d = Microsecond
+	}
+	s.windowMin = d
+	if s.window < d {
+		s.window = d
+	}
+}
+
+// RegionStats returns per-region executive telemetry (nil when
+// sequential): committed events sum to Executed(), and the peaks are
+// the per-region numbers PeakPending aggregates.
+func (s *Scheduler) RegionStats() []RegionStat {
+	if s.regions == nil {
+		return nil
+	}
+	out := make([]RegionStat, len(s.regions))
+	for i, sh := range s.regions {
+		out[i] = RegionStat{Committed: sh.committed, PeakPending: sh.peak}
+	}
+	return out
+}
+
+// Windows reports how many synchronization windows the region
+// executive has run (0 when sequential).
+func (s *Scheduler) Windows() uint64 { return s.windows }
+
+// BarrierStall reports the cumulative wall-clock time the committer
+// spent waiting at window barriers — parallel queue maintenance the
+// run could not overlap with handler execution. Pure observation; it
+// feeds telemetry, never results.
+func (s *Scheduler) BarrierStall() time.Duration { return s.stall }
+
+// routeRegion picks the shard for a new event: a Regioned handler's
+// own region (clamped into range), anything else the region of the
+// event being committed (region 0 during setup).
+func (s *Scheduler) routeRegion(h EventHandler) int {
+	if rg, ok := h.(Regioned); ok {
+		r := rg.EventRegion()
+		if r >= 0 && r < len(s.regions) {
+			return r
+		}
+	}
+	return s.curRegion
+}
+
+// regionPush files a freshly sequenced event with the region
+// executive: into the committer's hot heap when it lands inside the
+// open window (it must commit before the barrier), otherwise into the
+// target shard's mailbox for the workers to file at the next barrier.
+func (s *Scheduler) regionPush(e *Event, region int) {
+	e.region = int32(region)
+	sh := s.regions[region]
+	if e.at < s.windowEnd {
+		e.loc = locHot
+		s.hot.push(e)
+	} else {
+		e.loc = locPending
+		sh.mail = append(sh.mail, e)
+		if e.at < sh.next {
+			sh.next = e.at
+		}
+	}
+	sh.live++
+	s.totalLive++
+	if s.trackDepth && sh.live > sh.peak {
+		sh.peak = sh.live
+	}
+}
+
+// regionCancel implements Cancel/cancelOwned in region mode. Hot
+// events are committer-owned and removed outright; everything else —
+// mailbox, shard queue, or staged — may be under a worker's bookkeeping
+// and is only marked: the zombie surfaces through the merge in its
+// (time, seq) slot and is dropped there. owned releases pooled structs
+// when removal is immediate (Timer's cancelOwned path).
+func (s *Scheduler) regionCancel(e *Event, owned bool) {
+	switch e.loc {
+	case locDone:
+		return
+	case locHot:
+		s.hot.remove(e)
+		s.dropLive(e)
+		e.loc = locDone
+		if owned {
+			s.release(e)
+		}
+	default: // locPending
+		if e.canceled {
+			return
+		}
+		e.canceled = true
+		s.dropLive(e)
+	}
+}
+
+// dropLive retires one pending event from its region's live count.
+func (s *Scheduler) dropLive(e *Event) {
+	s.regions[e.region].live--
+	s.totalLive--
+}
+
+// regionNext returns the earliest pending instant across all shards
+// and the hot heap (exact between windows, when hot is empty).
+func (s *Scheduler) regionNext() Time {
+	t := MaxTime
+	for _, sh := range s.regions {
+		if sh.next < t {
+			t = sh.next
+		}
+	}
+	if e := s.hot.peekMin(); e != nil && e.at < t {
+		t = e.at
+	}
+	return t
+}
+
+// runRegions is Run/RunAll on the region executive: windows of
+// parallel staging followed by sequential merge-commit. With bounded
+// true, events after horizon stay pending and the clock parks at the
+// horizon, mirroring the sequential Run contract.
+func (s *Scheduler) runRegions(horizon Time, bounded bool) {
+	s.stopped = false
+	done := make(chan struct{})
+	for _, sh := range s.regions {
+		// Fresh channels per Run: the previous Run's defer closed the
+		// old command channels when it retired that run's workers.
+		sh.cmd = make(chan Time)
+		sh.rep = make(chan Time)
+		go sh.work(done)
+	}
+	defer func() {
+		for _, sh := range s.regions {
+			close(sh.cmd)
+		}
+		for range s.regions {
+			<-done
+		}
+	}()
+	for !s.stopped {
+		t := s.regionNext()
+		if t == MaxTime || (bounded && t > horizon) {
+			break
+		}
+		we := t.Add(s.window)
+		if we <= t { // overflow at the far end of time
+			we = MaxTime
+		}
+		if bounded && horizon < MaxTime && we > horizon+1 {
+			we = horizon + 1 // stage exactly through the horizon
+		}
+		s.stageWindow(we)
+		n := s.executed
+		s.commitWindow()
+		s.tuneWindow(s.executed - n)
+	}
+	if bounded && s.now < horizon && !s.stopped {
+		s.now = horizon
+	}
+}
+
+// stageWindow runs one barrier: broadcast the window end, let every
+// worker drain its mailbox and pop its staged stream in parallel, and
+// collect the post-stage minima. The wall time spent here is the
+// committer's barrier stall.
+func (s *Scheduler) stageWindow(we Time) {
+	start := time.Now()
+	for _, sh := range s.regions {
+		sh.cmd <- we
+	}
+	for _, sh := range s.regions {
+		sh.next = <-sh.rep
+	}
+	s.stall += time.Since(start)
+	s.windows++
+	s.windowEnd = we
+}
+
+// commitWindow merges the staged streams and the hot heap in global
+// (time, seq) order and executes each event exactly as the sequential
+// Step would, recycling pooled structs before dispatch. In-window
+// pushes land in the hot heap and are merged in turn; the window is
+// exhausted when every source is — a hot event is always earlier than
+// the window end, so none survives the window.
+func (s *Scheduler) commitWindow() {
+	for !s.stopped {
+		var best *Event
+		src := -1
+		for r, sh := range s.regions {
+			if sh.spos < len(sh.staged) {
+				e := sh.staged[sh.spos]
+				if best == nil || e.at < best.at || (e.at == best.at && e.seq < best.seq) {
+					best, src = e, r
+				}
+			}
+		}
+		if e := s.hot.peekMin(); e != nil && (best == nil || e.at < best.at || (e.at == best.at && e.seq < best.seq)) {
+			best, src = e, -1
+		}
+		if best == nil {
+			break
+		}
+		if src >= 0 {
+			sh := s.regions[src]
+			sh.staged[sh.spos] = nil
+			sh.spos++
+		} else {
+			s.hot.popMin()
+		}
+		e := best
+		if e.canceled {
+			// A zombie: cancelled while a worker owned its bookkeeping.
+			// Its live count was retired at Cancel; drop it here, in its
+			// merge slot, where releasing the pooled struct is safe.
+			e.canceled = false
+			e.loc = locDone
+			if e.pooled {
+				s.release(e)
+			}
+			continue
+		}
+		s.now = e.at
+		s.executed++
+		s.curRegion = int(e.region)
+		sh := s.regions[e.region]
+		sh.committed++
+		sh.live--
+		s.totalLive--
+		e.loc = locDone
+		if e.h != nil {
+			h, kind, arg, x := e.h, e.kind, e.arg, e.x
+			if e.pooled {
+				s.release(e)
+			}
+			h.HandleEvent(kind, arg, x)
+			continue
+		}
+		e.fn()
+	}
+	if s.stopped {
+		s.unstage()
+	}
+	s.windowEnd = 0
+}
+
+// unstage returns a stopped window's unexecuted events to their shard
+// queues so they stay pending for a later Run/RunAll, matching the
+// sequential Stop contract. The workers are parked at the barrier, so
+// the committer may touch the shard queues directly.
+func (s *Scheduler) unstage() {
+	for _, sh := range s.regions {
+		for ; sh.spos < len(sh.staged); sh.spos++ {
+			e := sh.staged[sh.spos]
+			sh.staged[sh.spos] = nil
+			sh.q.push(e)
+			if e.at < sh.next {
+				sh.next = e.at
+			}
+		}
+	}
+	for {
+		e := s.hot.popMin()
+		if e == nil {
+			break
+		}
+		e.loc = locPending
+		sh := s.regions[e.region]
+		sh.q.push(e)
+		if e.at < sh.next {
+			sh.next = e.at
+		}
+	}
+}
+
+// tuneWindow adapts the window width to the committed-event density.
+func (s *Scheduler) tuneWindow(committed uint64) {
+	switch {
+	case committed < regionWindowLo && s.window < regionWindowMax:
+		s.window *= 2
+		if s.window > regionWindowMax {
+			s.window = regionWindowMax
+		}
+	case committed > regionWindowHi && s.window > s.windowMin:
+		s.window /= 2
+		if s.window < s.windowMin {
+			s.window = s.windowMin
+		}
+	}
+}

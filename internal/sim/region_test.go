@@ -1,0 +1,334 @@
+package sim
+
+import (
+	"fmt"
+	"testing"
+)
+
+// regionWorkload is a deterministic synthetic event storm exercising
+// every scheduling surface: typed pooled events routed by Regioned
+// handlers, closure events inheriting the committing region, timers
+// stopped and re-armed mid-flight, and cancels that land on hot,
+// mailed, queued, and staged events alike. All randomness is a shared
+// LCG advanced only from inside handlers, so any divergence in event
+// order diverges the draw sequence and cascades into the trace.
+type regionWorkload struct {
+	s      *Scheduler
+	rng    uint64
+	until  Time // pump keeps injecting fresh events until here
+	trace  []string
+	nodes  []*regionNode
+	timers []*Timer
+	held   []*Event // cancellable closure handles
+}
+
+type regionNode struct {
+	w      *regionWorkload
+	id     int
+	region int
+}
+
+func (n *regionNode) EventRegion() int { return n.region }
+
+func (n *regionNode) HandleEvent(kind int32, arg any, x float64) {
+	w := n.w
+	w.record(fmt.Sprintf("n%d k%d x%g", n.id, kind, x))
+	w.act()
+}
+
+func (w *regionWorkload) record(ev string) {
+	w.trace = append(w.trace, fmt.Sprintf("%d %s", w.s.Now(), ev))
+}
+
+func (w *regionWorkload) draw(n uint64) uint64 {
+	w.rng = w.rng*6364136223846793005 + 1442695040888963407
+	return (w.rng >> 33) % n
+}
+
+// act is the body of every handler: schedule a couple of follow-ups of
+// random shape, sometimes cancel something pending, sometimes poke a
+// timer. Delays span well past the window width so events land in
+// mailboxes, shard queues, staged streams, and the hot heap.
+func (w *regionWorkload) act() {
+	for i := w.draw(3); i > 0; i-- {
+		d := Duration(w.draw(40_000)) // 0..40 µs vs a 10 µs initial window
+		switch w.draw(4) {
+		case 0:
+			id := int(w.draw(uint64(len(w.nodes))))
+			w.s.ScheduleEvent(d, w.nodes[id], int32(w.draw(5)), nil, float64(w.draw(7)))
+		case 1:
+			id := int(w.draw(uint64(len(w.nodes))))
+			w.held = append(w.held, w.s.Schedule(d, func() {
+				w.record(fmt.Sprintf("fn%d", id))
+				w.act()
+			}))
+		case 2:
+			t := w.timers[w.draw(uint64(len(w.timers)))]
+			if w.draw(3) == 0 {
+				t.Stop()
+				w.record("tstop")
+			} else {
+				t.Start(d)
+			}
+		case 3:
+			if len(w.held) > 0 {
+				e := w.held[w.draw(uint64(len(w.held)))]
+				w.record(fmt.Sprintf("cancel p=%v", e.Pending()))
+				w.s.Cancel(e)
+			}
+		}
+	}
+}
+
+// runRegionWorkload drives the storm on a fresh scheduler and returns
+// its trace and end state.
+func runRegionWorkload(t *testing.T, regions int, horizon Time) (*regionWorkload, *Scheduler) {
+	t.Helper()
+	s := NewScheduler()
+	if regions > 1 {
+		s.EnableRegions(regions)
+	}
+	s.TrackDepth(true)
+	w := &regionWorkload{s: s, rng: 12345}
+	for i := 0; i < 12; i++ {
+		w.nodes = append(w.nodes, &regionNode{w: w, id: i, region: i % 4})
+	}
+	for i := 0; i < 4; i++ {
+		i := i
+		w.timers = append(w.timers, NewTimer(s, func() {
+			w.record(fmt.Sprintf("t%d", i))
+			w.act()
+		}))
+	}
+	// Seed events before Run: in region mode these flow through the
+	// mailboxes with the committer parked, like scenario setup does.
+	for i, n := range w.nodes {
+		s.ScheduleEvent(Duration(i)*Microsecond, n, 0, nil, 0)
+	}
+	// The branching factor of act alone is subcritical, so a pump keeps
+	// the storm alive (and leaves work pending past any early horizon).
+	w.until = Time(3 * Millisecond)
+	w.pump()
+	s.Run(horizon)
+	return w, s
+}
+
+func (w *regionWorkload) pump() {
+	w.record("pump")
+	w.act()
+	if next := w.s.Now().Add(10 * Microsecond); next < w.until {
+		w.s.At(next, w.pump)
+	}
+}
+
+// TestRegionTraceIdentical is the kernel-level half of the 1-vs-N
+// determinism proof: the region executive must replay the sequential
+// scheduler's trace event for event, draw for draw.
+func TestRegionTraceIdentical(t *testing.T) {
+	const horizon = Time(3 * Millisecond)
+	ref, seqS := runRegionWorkload(t, 0, horizon)
+	if len(ref.trace) < 1000 {
+		t.Fatalf("workload too small to be meaningful: %d events", len(ref.trace))
+	}
+	for _, regions := range []int{2, 3, 8} {
+		got, s := runRegionWorkload(t, regions, horizon)
+		if len(got.trace) != len(ref.trace) {
+			t.Fatalf("regions=%d: %d trace entries, sequential %d", regions, len(got.trace), len(ref.trace))
+		}
+		for i := range ref.trace {
+			if got.trace[i] != ref.trace[i] {
+				t.Fatalf("regions=%d: trace diverges at %d:\n  seq: %s\n  par: %s",
+					regions, i, ref.trace[i], got.trace[i])
+			}
+		}
+		if got.rng != ref.rng {
+			t.Errorf("regions=%d: RNG state %d, sequential %d", regions, got.rng, ref.rng)
+		}
+		if s.Executed() != seqS.Executed() {
+			t.Errorf("regions=%d: executed %d, sequential %d", regions, s.Executed(), seqS.Executed())
+		}
+		if s.Now() != seqS.Now() {
+			t.Errorf("regions=%d: clock %v, sequential %v", regions, s.Now(), seqS.Now())
+		}
+		if s.Pending() != seqS.Pending() {
+			t.Errorf("regions=%d: pending %d, sequential %d", regions, s.Pending(), seqS.Pending())
+		}
+	}
+}
+
+// TestRegionStats checks the executive's telemetry invariants: the
+// per-region committed counts partition Executed(), every region saw
+// work under the modular routing, and the window count is sane.
+func TestRegionStats(t *testing.T) {
+	_, s := runRegionWorkload(t, 4, Time(3*Millisecond))
+	stats := s.RegionStats()
+	if len(stats) != 4 {
+		t.Fatalf("RegionStats len = %d, want 4", len(stats))
+	}
+	var sum uint64
+	for r, st := range stats {
+		if st.Committed == 0 {
+			t.Errorf("region %d committed nothing", r)
+		}
+		if st.PeakPending <= 0 {
+			t.Errorf("region %d peak pending = %d, want > 0", r, st.PeakPending)
+		}
+		sum += st.Committed
+	}
+	if sum != s.Executed() {
+		t.Errorf("per-region committed sums to %d, Executed() = %d", sum, s.Executed())
+	}
+	if s.Windows() == 0 {
+		t.Error("Windows() = 0 after a region run")
+	}
+	if got, max := s.PeakPending(), 0; true {
+		for _, st := range stats {
+			if st.PeakPending > max {
+				max = st.PeakPending
+			}
+		}
+		if got != max {
+			t.Errorf("PeakPending() = %d, max per-region peak = %d", got, max)
+		}
+	}
+}
+
+// TestRegionHorizonAndResume checks the Run contract in region mode:
+// events beyond the horizon stay pending, the clock parks at the
+// horizon, and a later Run picks the stragglers up exactly where the
+// sequential scheduler would.
+func TestRegionHorizonAndResume(t *testing.T) {
+	run := func(regions int) (first, second []string, s *Scheduler) {
+		w, sch := runRegionWorkload(t, regions, Time(500*Microsecond))
+		first = append([]string(nil), w.trace...)
+		w.trace = nil
+		sch.Run(Time(3 * Millisecond))
+		return first, w.trace, sch
+	}
+	f0, s0, seq := run(0)
+	f4, s4, par := run(4)
+	if fmt.Sprint(f0) != fmt.Sprint(f4) {
+		t.Fatal("first-leg traces differ between sequential and 4 regions")
+	}
+	if fmt.Sprint(s0) != fmt.Sprint(s4) {
+		t.Fatal("second-leg traces differ between sequential and 4 regions")
+	}
+	if seq.Now() != par.Now() || seq.Executed() != par.Executed() {
+		t.Fatalf("end state differs: seq (now %v, n %d) vs par (now %v, n %d)",
+			seq.Now(), seq.Executed(), par.Now(), par.Executed())
+	}
+}
+
+// TestRegionStopUnstages checks Stop mid-commit: the executive must
+// hand unexecuted staged events back to their shards so a later
+// RunAll completes the workload exactly as the sequential kernel.
+func TestRegionStopUnstages(t *testing.T) {
+	run := func(regions int) []string {
+		s := NewScheduler()
+		if regions > 1 {
+			s.EnableRegions(regions)
+		}
+		w := &regionWorkload{s: s, rng: 99}
+		for i := 0; i < 6; i++ {
+			w.nodes = append(w.nodes, &regionNode{w: w, id: i, region: i % 3})
+		}
+		w.timers = append(w.timers, NewTimer(s, func() { w.record("t0"); w.act() }))
+		for i, n := range w.nodes {
+			s.ScheduleEvent(Duration(i)*Microsecond, n, 0, nil, 0)
+		}
+		w.until = Time(Millisecond)
+		w.pump()
+		stopper := 0
+		s.Schedule(150*Microsecond, func() {
+			w.record("stop")
+			stopper++
+			s.Stop()
+		})
+		s.Run(Time(Millisecond))
+		if stopper != 1 {
+			t.Fatalf("stop event ran %d times", stopper)
+		}
+		w.record(fmt.Sprintf("stopped now=%d pending=%d", s.Now(), s.Pending()))
+		s.RunAll()
+		w.record(fmt.Sprintf("drained now=%d pending=%d", s.Now(), s.Pending()))
+		return w.trace
+	}
+	ref := run(0)
+	for _, regions := range []int{2, 5} {
+		got := run(regions)
+		if fmt.Sprint(got) != fmt.Sprint(ref) {
+			for i := range ref {
+				if i >= len(got) || got[i] != ref[i] {
+					t.Fatalf("regions=%d: trace diverges at %d of %d", regions, i, len(ref))
+				}
+			}
+			t.Fatalf("regions=%d: trace longer than sequential (%d vs %d)", regions, len(got), len(ref))
+		}
+	}
+}
+
+// TestRegionGuards pins the misuse panics: Step in region mode,
+// enabling twice, enabling after events, and too few regions.
+func TestRegionGuards(t *testing.T) {
+	expectPanic := func(name string, fn func()) {
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s: no panic", name)
+			}
+		}()
+		fn()
+	}
+	expectPanic("step", func() {
+		s := NewScheduler()
+		s.EnableRegions(2)
+		s.Step()
+	})
+	expectPanic("twice", func() {
+		s := NewScheduler()
+		s.EnableRegions(2)
+		s.EnableRegions(2)
+	})
+	expectPanic("after events", func() {
+		s := NewScheduler()
+		s.Schedule(0, func() {})
+		s.EnableRegions(2)
+	})
+	expectPanic("too few", func() {
+		NewScheduler().EnableRegions(1)
+	})
+}
+
+// TestRegionedRouting checks that typed events land on the shard their
+// Regioned handler names, and that out-of-range regions clamp to the
+// committing region instead of crashing.
+func TestRegionedRouting(t *testing.T) {
+	s := NewScheduler()
+	s.EnableRegions(3)
+	fired := 0
+	n := &routedHandler{region: 2}
+	s.ScheduleEvent(Microsecond, n, 7, nil, 0)
+	bad := &routedHandler{region: 99}
+	s.ScheduleEvent(2*Microsecond, bad, 8, nil, 0)
+	s.Schedule(3*Microsecond, func() { fired++ })
+	s.RunAll()
+	if fired != 1 {
+		t.Fatalf("closure fired %d times", fired)
+	}
+	stats := s.RegionStats()
+	if stats[2].Committed == 0 {
+		t.Error("region 2 never committed the routed event")
+	}
+	if got := s.Executed(); got != 3 {
+		t.Errorf("executed %d events, want 3", got)
+	}
+}
+
+// routedHandler is a bare Regioned handler for the routing test.
+type routedHandler struct {
+	region int
+	hits   int
+}
+
+func (h *routedHandler) EventRegion() int { return h.region }
+
+func (h *routedHandler) HandleEvent(int32, any, float64) { h.hits++ }
